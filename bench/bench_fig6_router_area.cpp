@@ -1,0 +1,47 @@
+// Reproduces Fig 6: "NOVA router area vs no. of neurons mapped per router"
+// -- the structural area model swept over neurons per router for NOVA vs
+// the per-neuron-LUT and per-core-LUT baselines (16 breakpoints, 1.4 GHz).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hwmodel/vector_unit_cost.hpp"
+
+int main() {
+  using namespace nova;
+  using namespace nova::hw;
+
+  std::puts("Fig 6 reproduction: router area vs neurons per router "
+            "(single unit, 16 breakpoints, 1.4 GHz, 22 nm)\n");
+
+  Table table("Fig 6: area (um^2) per router/unit");
+  table.set_header({"neurons", "NOVA NoC", "per-neuron LUT", "per-core LUT",
+                    "pn-LUT / NOVA", "pc-LUT / NOVA"});
+  Table csv("Fig 6 series (CSV)");
+  csv.set_header({"neurons", "nova_um2", "per_neuron_lut_um2",
+                  "per_core_lut_um2"});
+
+  for (const int neurons : {16, 32, 64, 128, 256, 512, 1024}) {
+    VectorUnitConfig cfg;
+    cfg.units = 1;
+    cfg.neurons_per_unit = neurons;
+    cfg.kind = UnitKind::kNovaNoc;
+    const auto nova = estimate_cost(tech22(), cfg);
+    cfg.kind = UnitKind::kPerNeuronLut;
+    const auto pn = estimate_cost(tech22(), cfg);
+    cfg.kind = UnitKind::kPerCoreLut;
+    const auto pc = estimate_cost(tech22(), cfg);
+    table.add_row({std::to_string(neurons), Table::num(nova.area_um2, 0),
+                   Table::num(pn.area_um2, 0), Table::num(pc.area_um2, 0),
+                   Table::num(pn.area_um2 / nova.area_um2, 2),
+                   Table::num(pc.area_um2 / nova.area_um2, 2)});
+    csv.add_row({std::to_string(neurons), Table::num(nova.area_um2, 1),
+                 Table::num(pn.area_um2, 1), Table::num(pc.area_um2, 1)});
+  }
+  table.print();
+  std::puts("");
+  std::fputs(csv.to_csv().c_str(), stdout);
+
+  std::puts("\nShape check (paper): NOVA lowest everywhere and scaling "
+            "better with neuron count; per-neuron LUT worst at high counts.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces the Section V.A scalability analysis: "a maximum of 10 routers
+// with clockless repeaters placed 1 mm apart can be traversed at 1.5 GHz
+// clock"; beyond that the broadcast takes multiple cycles. Sweeps clock
+// frequency and line length through the repeater timing model.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "hwmodel/timing.hpp"
+
+int main() {
+  using namespace nova;
+  using namespace nova::hw;
+
+  std::puts("Section V.A scalability reproduction: clockless-repeater line "
+            "timing (1 mm router spacing)\n");
+
+  Table hops("Max single-cycle hops vs clock");
+  hops.set_header({"clock (MHz)", "hops/cycle", "10-router line single "
+                   "cycle?"});
+  for (const double mhz : {240.0, 480.0, 700.0, 1000.0, 1400.0, 1500.0,
+                           2000.0, 2800.0}) {
+    const int reach = max_hops_per_cycle(tech22(), mhz, 1.0);
+    const LineNocLayout ten{10, 1.0};
+    hops.add_row({Table::num(mhz, 0), std::to_string(reach),
+                  broadcast_latency_cycles(tech22(), mhz, ten) == 1 ? "yes"
+                                                                    : "no"});
+  }
+  hops.print();
+
+  std::puts("");
+  Table lines("Broadcast latency vs line length @1.5 GHz");
+  lines.set_header({"routers", "latency (cycles)",
+                    "max single-cycle clock (MHz)"});
+  for (const int routers : {2, 4, 8, 10, 11, 16, 20, 32}) {
+    const LineNocLayout layout{routers, 1.0};
+    lines.add_row(
+        {std::to_string(routers),
+         std::to_string(broadcast_latency_cycles(tech22(), 1500.0, layout)),
+         Table::num(max_single_cycle_freq_mhz(tech22(), layout), 0)});
+  }
+  lines.print();
+
+  std::printf("\nKey anchor: at 1500 MHz the model reaches %d hops per "
+              "cycle, so a 10-router line (10 segments including "
+              "injection) is the largest single-cycle deployment (paper: "
+              "10); an 11-router line needs %d cycles.\n",
+              max_hops_per_cycle(tech22(), 1500.0, 1.0),
+              broadcast_latency_cycles(tech22(), 1500.0,
+                                       LineNocLayout{11, 1.0}));
+  return 0;
+}

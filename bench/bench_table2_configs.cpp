@@ -1,0 +1,53 @@
+// Reproduces Table II: "Accelerator parameters integrated with NOVA" --
+// the four host configurations, their NOVA NoC deployments, and the
+// mapper's physical validation of each.
+#include <cstdio>
+
+#include "accel/accelerator.hpp"
+#include "approx/mlp_fitter.hpp"
+#include "common/table.hpp"
+#include "core/overlay.hpp"
+
+int main() {
+  using namespace nova;
+
+  std::puts("Table II reproduction: accelerator parameters integrated with "
+            "NOVA\n");
+
+  Table table("Table II: NOVA deployments per accelerator");
+  table.set_header({"accelerator", "NOVA routers", "neurons/router",
+                    "freq (MHz)", "NoC freq (MHz, 16 bp)",
+                    "single-cycle lookup", "matrix units"});
+
+  const auto& gelu = approx::PwlLibrary::instance().get(
+      approx::NonLinearFn::kGelu, 16);
+
+  for (const auto kind :
+       {hw::AcceleratorKind::kReact, hw::AcceleratorKind::kTpuV3,
+        hw::AcceleratorKind::kTpuV4, hw::AcceleratorKind::kJetsonNvdla}) {
+    const auto overlay = core::make_overlay(kind);
+    const auto accel = accel::make_accelerator(kind);
+    core::NovaVectorUnit unit(overlay.nova);
+    const auto check = unit.mapping_check(gelu);
+    table.add_row({accel.name, std::to_string(overlay.nova.routers),
+                   std::to_string(overlay.nova.neurons_per_router),
+                   Table::num(overlay.nova.accel_freq_mhz, 0),
+                   Table::num(check.noc_freq_mhz, 0),
+                   check.single_cycle_lookup ? "yes" : "no",
+                   std::to_string(accel.matrix_units)});
+  }
+  table.print();
+
+  std::puts("\nPaper values: REACT 10x256 @240; TPUv3 4x128 @1400; TPUv4 "
+            "8x128 @1400; Jetson NX 2x16 @1400. All single-cycle.\n");
+
+  std::puts("Attachment points (paper Fig 5):");
+  for (const auto kind :
+       {hw::AcceleratorKind::kReact, hw::AcceleratorKind::kTpuV3,
+        hw::AcceleratorKind::kJetsonNvdla}) {
+    const auto overlay = core::make_overlay(kind);
+    std::printf("  %-26s %s\n", hw::to_string(kind),
+                overlay.attachment.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "accel/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "hwmodel/components.hpp"
+
+namespace nova::accel {
+
+AcceleratorModel make_accelerator(hw::AcceleratorKind kind) {
+  AcceleratorModel accel;
+  accel.kind = kind;
+  accel.name = hw::to_string(kind);
+  switch (kind) {
+    case hw::AcceleratorKind::kReact:
+      // 10 coarse-grained PE clusters of 256 MACs each (16x16), WS-mapped,
+      // 240 MHz edge clock. Base power: wearable-class budget.
+      accel.matrix_units = 10;
+      accel.systolic = SystolicConfig{16, 16, Dataflow::kWeightStationary};
+      accel.freq_mhz = 240.0;
+      accel.base_power_w = 0.8;
+      break;
+    case hw::AcceleratorKind::kTpuV3:
+      // 4 MXUs of 128x128 (Table II); datacenter-class inference die.
+      accel.matrix_units = 4;
+      accel.systolic = SystolicConfig{128, 128, Dataflow::kWeightStationary};
+      accel.freq_mhz = 1400.0;
+      accel.base_power_w = 30.0;
+      break;
+    case hw::AcceleratorKind::kTpuV4:
+      // 8 MXUs: twice the v3 fabric.
+      accel.matrix_units = 8;
+      accel.systolic = SystolicConfig{128, 128, Dataflow::kWeightStationary};
+      accel.freq_mhz = 1400.0;
+      accel.base_power_w = 60.0;
+      break;
+    case hw::AcceleratorKind::kJetsonNvdla:
+      // Two NVDLA cores, each modeled as a 16x64 MAC array with 16 output
+      // lanes (matching the 16 neurons per NOVA router in Table II).
+      accel.matrix_units = 2;
+      accel.systolic = SystolicConfig{64, 16, Dataflow::kWeightStationary};
+      accel.freq_mhz = 1400.0;
+      accel.base_power_w = 2.0;
+      break;
+  }
+  return accel;
+}
+
+std::uint64_t inference_cycles(const AcceleratorModel& accel,
+                               const workload::ModelWorkload& workload) {
+  NOVA_EXPECTS(accel.matrix_units >= 1);
+  std::uint64_t total = 0;
+  for (const auto& g : workload.gemms) {
+    // Folds of all `count` instances distribute across the matrix units.
+    const std::int64_t folds =
+        gemm_folds(accel.systolic, g.m, g.k, g.n) * g.count;
+    const std::int64_t per_unit =
+        (folds + accel.matrix_units - 1) / accel.matrix_units;
+    total += static_cast<std::uint64_t>(
+        per_unit * fold_cycles(accel.systolic, g.m, g.k, g.n));
+  }
+  return total;
+}
+
+InferenceEnergy evaluate_inference(const AcceleratorModel& accel,
+                                   const workload::ModelWorkload& workload,
+                                   const ApproximatorChoice& choice) {
+  InferenceEnergy result;
+  result.compute_cycles = inference_cycles(accel, workload);
+  result.approx_ops =
+      static_cast<std::uint64_t>(workload.nonlinear.total_approx_ops());
+
+  // Vector-unit throughput: every organization serves one element per
+  // neuron per cycle, fully pipelined (the paper keeps NOVA's latency equal
+  // to the LUT baselines').
+  const auto unit_cfg = hw::paper_unit_config(accel.kind, choice.kind);
+  const std::uint64_t throughput =
+      static_cast<std::uint64_t>(unit_cfg.total_neurons());
+  result.approx_cycles = result.approx_ops == 0
+                             ? 0
+                             : (result.approx_ops + throughput - 1) /
+                                       throughput +
+                                   1;
+
+  // Non-linear work overlaps the GEMM pipeline; runtime is the slower of
+  // the two streams.
+  const std::uint64_t runtime_cycles =
+      std::max(result.compute_cycles, result.approx_cycles);
+  const double runtime_s = static_cast<double>(runtime_cycles) /
+                           (accel.freq_mhz * 1.0e6);
+  result.runtime_ms = runtime_s * 1.0e3;
+
+  result.base_energy_mj = accel.base_power_w * runtime_s * 1.0e3;
+
+  // Approximator energy: calibrated marginal energy per element operation
+  // plus its leakage integrated over the runtime.
+  const auto cost = hw::calibrated_cost(hw::tech22(), accel.kind, choice.kind);
+  const double active_mj = static_cast<double>(result.approx_ops) *
+                           cost.energy_per_approx_pj * 1.0e-9;
+  const double leakage_mj =
+      hw::leakage_mw(hw::tech22(), cost.area_um2) * runtime_s;
+  result.approx_energy_mj = active_mj + leakage_mj;
+  return result;
+}
+
+}  // namespace nova::accel

@@ -1,0 +1,66 @@
+// End-to-end accelerator models for the paper's four hosts (Table II),
+// combining the compute-fabric cycle model with a vector-unit attachment to
+// estimate per-inference runtime and the approximator's energy/overhead --
+// the machinery behind Fig 8.
+#pragma once
+
+#include <string>
+
+#include "accel/systolic.hpp"
+#include "hwmodel/calibration.hpp"
+
+namespace nova::accel {
+
+/// A host accelerator: compute fabric + clock + baseline die power.
+struct AcceleratorModel {
+  hw::AcceleratorKind kind = hw::AcceleratorKind::kTpuV4;
+  std::string name;
+  /// Parallel matrix units (MXUs for TPU, PE clusters for REACT, conv cores
+  /// for NVDLA); GEMM folds distribute across them.
+  int matrix_units = 1;
+  SystolicConfig systolic;
+  double freq_mhz = 1400.0;
+  /// Estimated base die power (compute + SRAM, without the approximator) at
+  /// full activity. Used only to express the approximator's energy as a
+  /// fraction of total inference energy; documented estimate, printed by
+  /// the benches.
+  double base_power_w = 30.0;
+};
+
+/// The paper's configuration for each host (Table II).
+[[nodiscard]] AcceleratorModel make_accelerator(hw::AcceleratorKind kind);
+
+/// Per-inference runtime of a workload on the accelerator: GEMMs distribute
+/// across matrix units (tile-level parallelism, ceil-balanced).
+[[nodiscard]] std::uint64_t inference_cycles(
+    const AcceleratorModel& accel, const workload::ModelWorkload& workload);
+
+/// Which vector unit serves the non-linear operations.
+struct ApproximatorChoice {
+  hw::UnitKind kind = hw::UnitKind::kNovaNoc;
+  int breakpoints = 16;
+};
+
+/// Energy estimate for one inference with a given approximator attachment.
+struct InferenceEnergy {
+  std::uint64_t compute_cycles = 0;  ///< GEMM cycles on the fabric
+  std::uint64_t approx_ops = 0;      ///< non-linear element operations
+  std::uint64_t approx_cycles = 0;   ///< cycles the vector unit is busy
+  double runtime_ms = 0.0;
+  double base_energy_mj = 0.0;       ///< fabric energy over the runtime
+  double approx_energy_mj = 0.0;     ///< vector-unit energy (marginal)
+  /// Approximator energy as a fraction of total inference energy.
+  [[nodiscard]] double overhead_fraction() const {
+    const double total = base_energy_mj + approx_energy_mj;
+    return total > 0.0 ? approx_energy_mj / total : 0.0;
+  }
+};
+
+/// Evaluates one (workload, accelerator, approximator) combination using
+/// the calibrated hardware cost model: approximator energy = marginal
+/// energy-per-op x ops (active) plus its leakage over the runtime.
+[[nodiscard]] InferenceEnergy evaluate_inference(
+    const AcceleratorModel& accel, const workload::ModelWorkload& workload,
+    const ApproximatorChoice& choice);
+
+}  // namespace nova::accel

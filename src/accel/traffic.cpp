@@ -1,0 +1,69 @@
+#include "accel/traffic.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::accel {
+
+namespace {
+
+constexpr std::int64_t kBytesPerWord = 2;  // 16-bit operands
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+TrafficEstimate gemm_traffic(const SystolicConfig& config, std::int64_t m,
+                             std::int64_t k, std::int64_t n) {
+  NOVA_EXPECTS(m > 0 && k > 0 && n > 0);
+  TrafficEstimate t;
+  switch (config.dataflow) {
+    case Dataflow::kWeightStationary: {
+      const std::int64_t row_folds = ceil_div(k, config.rows);
+      const std::int64_t col_folds = ceil_div(n, config.cols);
+      t.filter_sram_reads = k * n * kBytesPerWord;
+      t.ifmap_sram_reads = m * k * col_folds * kBytesPerWord;
+      t.ofmap_sram_writes = m * n * row_folds * kBytesPerWord;
+      t.dram_ifmap = m * k * kBytesPerWord;
+      t.dram_filter = k * n * kBytesPerWord;
+      // Partial sums spill and reload once per extra row fold.
+      t.dram_ofmap = m * n * (2 * row_folds - 1) * kBytesPerWord;
+      break;
+    }
+    case Dataflow::kOutputStationary: {
+      const std::int64_t row_folds = ceil_div(m, config.rows);
+      const std::int64_t col_folds = ceil_div(n, config.cols);
+      // Outputs accumulate in place: written exactly once.
+      t.ofmap_sram_writes = m * n * kBytesPerWord;
+      // Each operand re-streams for the folds of the other dimension.
+      t.ifmap_sram_reads = m * k * col_folds * kBytesPerWord;
+      t.filter_sram_reads = k * n * row_folds * kBytesPerWord;
+      t.dram_ifmap = m * k * kBytesPerWord;
+      t.dram_filter = k * n * kBytesPerWord;
+      t.dram_ofmap = m * n * kBytesPerWord;
+      break;
+    }
+  }
+  return t;
+}
+
+TrafficEstimate workload_traffic(const SystolicConfig& config,
+                                 const workload::ModelWorkload& workload) {
+  TrafficEstimate total;
+  for (const auto& g : workload.gemms) {
+    TrafficEstimate one = gemm_traffic(config, g.m, g.k, g.n);
+    for (std::int64_t i = 0; i < g.count; ++i) total += one;
+  }
+  return total;
+}
+
+double arithmetic_intensity(const SystolicConfig& config,
+                            const workload::ModelWorkload& workload) {
+  const TrafficEstimate t = workload_traffic(config, workload);
+  NOVA_EXPECTS(t.total_dram() > 0);
+  return static_cast<double>(workload.total_macs()) /
+         static_cast<double>(t.total_dram());
+}
+
+}  // namespace nova::accel

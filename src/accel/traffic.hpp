@@ -1,0 +1,62 @@
+// SCALE-Sim-style memory-traffic accounting for the systolic fabric: SRAM
+// reads/writes per operand and DRAM traffic under double-buffered operand
+// SRAMs. Complements the cycle model (systolic.hpp) the way SCALE-Sim's
+// traffic CSVs complement its cycle counts.
+#pragma once
+
+#include <cstdint>
+
+#include "accel/systolic.hpp"
+
+namespace nova::accel {
+
+/// Byte traffic of one GEMM execution (16-bit operands).
+struct TrafficEstimate {
+  std::int64_t ifmap_sram_reads = 0;   ///< activation operand bytes read
+  std::int64_t filter_sram_reads = 0;  ///< weight operand bytes read
+  std::int64_t ofmap_sram_writes = 0;  ///< output bytes written (incl. partial sums)
+  std::int64_t dram_ifmap = 0;
+  std::int64_t dram_filter = 0;
+  std::int64_t dram_ofmap = 0;
+
+  [[nodiscard]] std::int64_t total_sram() const {
+    return ifmap_sram_reads + filter_sram_reads + ofmap_sram_writes;
+  }
+  [[nodiscard]] std::int64_t total_dram() const {
+    return dram_ifmap + dram_filter + dram_ofmap;
+  }
+
+  TrafficEstimate& operator+=(const TrafficEstimate& other) {
+    ifmap_sram_reads += other.ifmap_sram_reads;
+    filter_sram_reads += other.filter_sram_reads;
+    ofmap_sram_writes += other.ofmap_sram_writes;
+    dram_ifmap += other.dram_ifmap;
+    dram_filter += other.dram_filter;
+    dram_ofmap += other.dram_ofmap;
+    return *this;
+  }
+};
+
+/// Traffic for one (m x k) * (k x n) GEMM under the configured dataflow.
+///
+/// Weight-stationary accounting (SCALE-Sim's WS analytic mode):
+///   * filters stream into the array once per fold: k*n elements total;
+///   * the activation tile re-streams for every column fold: m*k per
+///     column fold;
+///   * outputs are written once per row fold (partial-sum accumulation
+///     spills when k exceeds the array rows): m*n per row fold.
+/// DRAM: each operand enters once (double-buffered SRAM), and partial sums
+/// beyond the first row fold write back and re-load.
+[[nodiscard]] TrafficEstimate gemm_traffic(const SystolicConfig& config,
+                                           std::int64_t m, std::int64_t k,
+                                           std::int64_t n);
+
+/// Total traffic of a model workload.
+[[nodiscard]] TrafficEstimate workload_traffic(
+    const SystolicConfig& config, const workload::ModelWorkload& workload);
+
+/// Arithmetic intensity: useful MACs per DRAM byte.
+[[nodiscard]] double arithmetic_intensity(
+    const SystolicConfig& config, const workload::ModelWorkload& workload);
+
+}  // namespace nova::accel

@@ -1,0 +1,172 @@
+#include "approx/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace nova::approx {
+
+namespace {
+
+/// Closed-form simple linear regression of `fn` over [lo, hi].
+LinePiece lsq_piece(const ScalarFn& fn, double lo, double hi, int samples) {
+  NOVA_EXPECTS(hi > lo);
+  NOVA_EXPECTS(samples >= 2);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (int k = 0; k < samples; ++k) {
+    const double x = lo + (hi - lo) * k / static_cast<double>(samples - 1);
+    const double y = fn(x);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = samples;
+  const double denom = n * sxx - sx * sx;
+  LinePiece piece;
+  if (std::abs(denom) < 1e-12) {
+    piece.slope = 0.0;
+    piece.bias = sy / n;
+  } else {
+    piece.slope = (n * sxy - sx * sy) / denom;
+    piece.bias = (sy - piece.slope * sx) / n;
+  }
+  return piece;
+}
+
+std::vector<double> uniform_bounds(int breakpoints, Domain domain) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(breakpoints) - 1);
+  for (int i = 1; i < breakpoints; ++i) {
+    bounds.push_back(domain.lo + domain.width() * i / breakpoints);
+  }
+  return bounds;
+}
+
+/// Curvature-equalized boundary placement: segment density proportional to
+/// |f''|^(1/3), the near-optimal rule for piecewise-linear approximation of
+/// smooth functions.
+std::vector<double> curvature_bounds(const ScalarFn& fn, int breakpoints,
+                                     Domain domain) {
+  constexpr int kSamples = 4096;
+  const double h = domain.width() / kSamples;
+  std::vector<double> density(kSamples);
+  double max_density = 0.0;
+  for (int k = 0; k < kSamples; ++k) {
+    const double x = domain.lo + (k + 0.5) * h;
+    const double step = std::min(h, 1e-4 * domain.width());
+    const double f2 =
+        (fn(std::min(x + step, domain.hi)) - 2.0 * fn(x) +
+         fn(std::max(x - step, domain.lo))) /
+        (step * step);
+    density[static_cast<std::size_t>(k)] = std::cbrt(std::abs(f2));
+    max_density = std::max(max_density, density[static_cast<std::size_t>(k)]);
+  }
+  // A floor keeps flat regions (zero curvature) from collapsing to
+  // zero-width mass and so producing duplicate boundaries.
+  const double floor_density = std::max(1e-12, 1e-3 * max_density);
+  std::vector<double> cumulative(kSamples + 1, 0.0);
+  for (int k = 0; k < kSamples; ++k) {
+    cumulative[static_cast<std::size_t>(k) + 1] =
+        cumulative[static_cast<std::size_t>(k)] +
+        std::max(density[static_cast<std::size_t>(k)], floor_density) * h;
+  }
+  const double total = cumulative.back();
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(breakpoints) - 1);
+  std::size_t cursor = 0;
+  for (int i = 1; i < breakpoints; ++i) {
+    const double target = total * i / breakpoints;
+    while (cursor + 1 < cumulative.size() &&
+           cumulative[cursor + 1] < target) {
+      ++cursor;
+    }
+    const double mass_lo = cumulative[cursor];
+    const double mass_hi = cumulative[cursor + 1];
+    const double frac =
+        mass_hi > mass_lo ? (target - mass_lo) / (mass_hi - mass_lo) : 0.5;
+    bounds.push_back(domain.lo + (static_cast<double>(cursor) + frac) * h);
+  }
+  return bounds;
+}
+
+/// LSQ (slope, bias) per segment over the given boundaries.
+struct FitPieces {
+  std::vector<double> bounds, slopes, biases;
+};
+
+FitPieces pieces_from_bounds(const ScalarFn& fn, Domain domain,
+                             std::vector<double> bounds) {
+  std::sort(bounds.begin(), bounds.end());
+  FitPieces out;
+  out.slopes.reserve(bounds.size() + 1);
+  out.biases.reserve(bounds.size() + 1);
+  double lo = domain.lo;
+  for (std::size_t i = 0; i <= bounds.size(); ++i) {
+    const double hi = i < bounds.size() ? bounds[i] : domain.hi;
+    const LinePiece piece = lsq_piece(fn, lo, hi, 256);
+    out.slopes.push_back(piece.slope);
+    out.biases.push_back(piece.bias);
+    lo = hi;
+  }
+  out.bounds = std::move(bounds);
+  return out;
+}
+
+ScalarFn wrap(NonLinearFn fn) {
+  return [fn](double x) { return eval_exact(fn, x); };
+}
+
+}  // namespace
+
+LinePiece least_squares_piece(NonLinearFn fn, double lo, double hi,
+                              int samples) {
+  return lsq_piece(wrap(fn), lo, hi, samples);
+}
+
+PwlTable fit_uniform(NonLinearFn fn, int breakpoints, Domain domain) {
+  NOVA_EXPECTS(breakpoints >= 1);
+  auto pieces = pieces_from_bounds(wrap(fn), domain,
+                                   uniform_bounds(breakpoints, domain));
+  return PwlTable(fn, domain, std::move(pieces.bounds),
+                  std::move(pieces.slopes), std::move(pieces.biases));
+}
+
+PwlTable fit_uniform(NonLinearFn fn, int breakpoints) {
+  return fit_uniform(fn, breakpoints, default_domain(fn));
+}
+
+PwlTable fit_uniform(const ScalarFn& fn, std::string label, int breakpoints,
+                     Domain domain) {
+  NOVA_EXPECTS(breakpoints >= 1);
+  NOVA_EXPECTS(fn != nullptr);
+  auto pieces =
+      pieces_from_bounds(fn, domain, uniform_bounds(breakpoints, domain));
+  return PwlTable(fn, std::move(label), domain, std::move(pieces.bounds),
+                  std::move(pieces.slopes), std::move(pieces.biases));
+}
+
+PwlTable fit_adaptive(NonLinearFn fn, int breakpoints, Domain domain) {
+  NOVA_EXPECTS(breakpoints >= 1);
+  auto pieces = pieces_from_bounds(
+      wrap(fn), domain, curvature_bounds(wrap(fn), breakpoints, domain));
+  return PwlTable(fn, domain, std::move(pieces.bounds),
+                  std::move(pieces.slopes), std::move(pieces.biases));
+}
+
+PwlTable fit_adaptive(NonLinearFn fn, int breakpoints) {
+  return fit_adaptive(fn, breakpoints, default_domain(fn));
+}
+
+PwlTable fit_adaptive(const ScalarFn& fn, std::string label, int breakpoints,
+                      Domain domain) {
+  NOVA_EXPECTS(breakpoints >= 1);
+  NOVA_EXPECTS(fn != nullptr);
+  auto pieces =
+      pieces_from_bounds(fn, domain, curvature_bounds(fn, breakpoints, domain));
+  return PwlTable(fn, std::move(label), domain, std::move(pieces.bounds),
+                  std::move(pieces.slopes), std::move(pieces.biases));
+}
+
+}  // namespace nova::approx

@@ -1,0 +1,41 @@
+// Direct piecewise-linear fitters. The paper's method learns breakpoints
+// with an MLP (mlp_fitter.hpp); the fitters here serve as baselines and
+// ablations: uniform breakpoints (what naive LUT schemes use) and a greedy
+// adaptive splitter.
+#pragma once
+
+#include "approx/pwl.hpp"
+
+namespace nova::approx {
+
+/// Fits a PWL with `breakpoints` segments on uniformly spaced boundaries.
+/// Within each segment the line is the least-squares fit over dense samples
+/// (better than interpolating the endpoints, same hardware cost).
+[[nodiscard]] PwlTable fit_uniform(NonLinearFn fn, int breakpoints,
+                                   Domain domain);
+[[nodiscard]] PwlTable fit_uniform(NonLinearFn fn, int breakpoints);
+/// Same for a user-defined function.
+[[nodiscard]] PwlTable fit_uniform(const ScalarFn& fn, std::string label,
+                                   int breakpoints, Domain domain);
+
+/// Curvature-equalized adaptive fit: boundaries placed at equal quantiles
+/// of |f''|^(1/3) mass, the near-optimal density for PWL approximation of
+/// smooth functions. This is the classical analogue of the error balancing
+/// the paper's MLP learns by gradient descent.
+[[nodiscard]] PwlTable fit_adaptive(NonLinearFn fn, int breakpoints,
+                                    Domain domain);
+[[nodiscard]] PwlTable fit_adaptive(NonLinearFn fn, int breakpoints);
+/// Same for a user-defined function.
+[[nodiscard]] PwlTable fit_adaptive(const ScalarFn& fn, std::string label,
+                                    int breakpoints, Domain domain);
+
+/// Least-squares (slope, bias) for `fn` restricted to [lo, hi], sampled at
+/// `samples` points. Exposed for the fitters and tests.
+struct LinePiece {
+  double slope = 0.0;
+  double bias = 0.0;
+};
+[[nodiscard]] LinePiece least_squares_piece(NonLinearFn fn, double lo,
+                                            double hi, int samples = 256);
+
+}  // namespace nova::approx

@@ -1,0 +1,70 @@
+#include "approx/functions.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace nova::approx {
+
+const char* to_string(NonLinearFn fn) {
+  switch (fn) {
+    case NonLinearFn::kExp: return "exp";
+    case NonLinearFn::kReciprocal: return "reciprocal";
+    case NonLinearFn::kGelu: return "gelu";
+    case NonLinearFn::kTanh: return "tanh";
+    case NonLinearFn::kSigmoid: return "sigmoid";
+    case NonLinearFn::kErf: return "erf";
+    case NonLinearFn::kSilu: return "silu";
+    case NonLinearFn::kSoftplus: return "softplus";
+    case NonLinearFn::kRsqrt: return "rsqrt";
+  }
+  return "?";
+}
+
+double eval_exact(NonLinearFn fn, double x) {
+  switch (fn) {
+    case NonLinearFn::kExp: return std::exp(x);
+    case NonLinearFn::kReciprocal:
+      NOVA_EXPECTS(x != 0.0);
+      return 1.0 / x;
+    case NonLinearFn::kGelu:
+      return 0.5 * x * (1.0 + std::erf(x / 1.4142135623730951));
+    case NonLinearFn::kTanh: return std::tanh(x);
+    case NonLinearFn::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    case NonLinearFn::kErf: return std::erf(x);
+    case NonLinearFn::kSilu: return x / (1.0 + std::exp(-x));
+    case NonLinearFn::kSoftplus:
+      // Stable for large |x|.
+      return x > 20.0 ? x : std::log1p(std::exp(x));
+    case NonLinearFn::kRsqrt:
+      NOVA_EXPECTS(x > 0.0);
+      return 1.0 / std::sqrt(x);
+  }
+  NOVA_ASSERT(false);
+  return 0.0;
+}
+
+Domain default_domain(NonLinearFn fn) {
+  switch (fn) {
+    case NonLinearFn::kExp:
+      // Max-shifted softmax inputs are <= 0; below -8 the contribution
+      // (3.3e-4) is already under the Q6.10 fixed-point resolution.
+      return Domain{-8.0, 0.0};
+    case NonLinearFn::kReciprocal:
+      // Softmax denominators are range-reduced by halving into [1, 2)
+      // (1/(s * 2^k) = 2^-k * 1/s, and the rescale is a shift), so the
+      // table only needs one octave.
+      return Domain{1.0, 2.0};
+    case NonLinearFn::kGelu: return Domain{-8.0, 8.0};
+    case NonLinearFn::kTanh: return Domain{-6.0, 6.0};
+    case NonLinearFn::kSigmoid: return Domain{-8.0, 8.0};
+    case NonLinearFn::kErf: return Domain{-4.0, 4.0};
+    case NonLinearFn::kSilu: return Domain{-8.0, 8.0};
+    case NonLinearFn::kSoftplus: return Domain{-8.0, 8.0};
+    case NonLinearFn::kRsqrt: return Domain{0.25, 31.0};
+  }
+  NOVA_ASSERT(false);
+  return {};
+}
+
+}  // namespace nova::approx

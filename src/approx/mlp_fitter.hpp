@@ -1,0 +1,60 @@
+// NN-LUT-style breakpoint learning (paper Section IV): a 2-layer MLP with
+// ReLU hidden units is trained at compile time to regress the non-linear
+// function; since a 1-D ReLU MLP *is* a piecewise-linear function, the
+// trained network is converted exactly into a PwlTable. The number of hidden
+// nodes sets the number of breakpoints ("the number of nodes in the hidden
+// layer represent the number of breakpoints").
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "approx/pwl.hpp"
+
+namespace nova::approx {
+
+/// Training hyper-parameters for the compile-time fit.
+struct MlpFitOptions {
+  int iterations = 4000;
+  int samples = 512;          ///< training points over the fit domain
+  double learning_rate = 2e-3;
+  std::uint64_t seed = 7;
+  /// Keep hidden-unit kinks ordered and inside the domain by re-projecting
+  /// every `reproject_every` steps (stabilizes training; 0 disables).
+  int reproject_every = 200;
+};
+
+/// Trains the MLP and converts it to a PWL table with exactly `breakpoints`
+/// segments (hidden width = breakpoints - 1 kinks).
+[[nodiscard]] PwlTable fit_mlp(NonLinearFn fn, int breakpoints, Domain domain,
+                               const MlpFitOptions& options = {});
+[[nodiscard]] PwlTable fit_mlp(NonLinearFn fn, int breakpoints);
+/// Same for a user-defined function: maps any custom activation onto the
+/// NOVA/NN-LUT hardware.
+[[nodiscard]] PwlTable fit_mlp(const ScalarFn& fn, std::string label,
+                               int breakpoints, Domain domain,
+                               const MlpFitOptions& options = {});
+
+/// A trained PWL provider with memoization: tables are expensive to train
+/// and reused across benches/examples/the mapper.
+class PwlLibrary {
+ public:
+  /// Returns the MLP-fit table for (fn, breakpoints), training on first use.
+  const PwlTable& get(NonLinearFn fn, int breakpoints);
+
+  /// Process-wide shared library instance.
+  static PwlLibrary& instance();
+
+ private:
+  struct Key {
+    NonLinearFn fn;
+    int breakpoints;
+    bool operator<(const Key& o) const {
+      if (fn != o.fn) return fn < o.fn;
+      return breakpoints < o.breakpoints;
+    }
+  };
+  std::map<Key, PwlTable> tables_;
+};
+
+}  // namespace nova::approx

@@ -1,0 +1,37 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines' GSL
+// Expects/Ensures. All checks are active in every build type: this library
+// models hardware whose correctness claims rest on invariants holding, and
+// the cost of a predicate test is negligible next to cycle simulation.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nova::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "nova: %s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace nova::detail
+
+/// Precondition check: argument/state requirements at function entry.
+#define NOVA_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : nova::detail::contract_violation("precondition", #cond,       \
+                                             __FILE__, __LINE__))
+
+/// Postcondition check: guarantees at function exit.
+#define NOVA_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : nova::detail::contract_violation("postcondition", #cond,      \
+                                             __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define NOVA_ASSERT(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : nova::detail::contract_violation("invariant", #cond, __FILE__, \
+                                             __LINE__))

@@ -1,0 +1,36 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace nova {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[nova %s] %s\n", level_name(level), msg.c_str());
+}
+
+void log_trace(const std::string& msg) { log(LogLevel::kTrace, msg); }
+void log_debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+void log_info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+void log_warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+void log_error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+}  // namespace nova

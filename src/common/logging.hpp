@@ -1,0 +1,25 @@
+// Minimal leveled logging. Kept deliberately simple: benches and examples are
+// the primary consumers and they mostly print tables; the simulator uses
+// trace-level logging that is compiled in but off by default.
+#pragma once
+
+#include <string>
+
+namespace nova {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+/// Sets the global minimum level that will be emitted. Defaults to kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `msg` to stderr if `level` passes the global threshold.
+void log(LogLevel level, const std::string& msg);
+
+void log_trace(const std::string& msg);
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace nova

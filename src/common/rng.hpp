@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// property tests. xoshiro256** is small, fast, and has no global state, so
+// every experiment is reproducible from its seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace nova {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 expansion of the seed into the 256-bit state.
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant here).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    // Guard against log(0).
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    const double mag = stddev * std::sqrt(-2.0 * std::log(u1));
+    return mean + mag * std::cos(6.28318530717958647692 * u2);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace nova

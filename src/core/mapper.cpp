@@ -1,0 +1,47 @@
+#include "core/mapper.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::core {
+
+BroadcastSchedule make_schedule(const approx::PwlTable& table,
+                                int pairs_per_flit) {
+  NOVA_EXPECTS(pairs_per_flit >= 1);
+  const int bp = table.breakpoints();
+  NOVA_EXPECTS(bp >= 1);
+  BroadcastSchedule schedule;
+  schedule.noc_clock_multiplier = (bp + pairs_per_flit - 1) / pairs_per_flit;
+  const int m = schedule.noc_clock_multiplier;
+  schedule.flits.reserve(static_cast<std::size_t>(m));
+  for (int tag = 0; tag < m; ++tag) {
+    std::vector<noc::SlopeBiasPair> pairs;
+    pairs.reserve(static_cast<std::size_t>(pairs_per_flit));
+    for (int slot = 0; slot < pairs_per_flit; ++slot) {
+      // Address carried in (tag, slot): addresses beyond the table replicate
+      // the last pair (harmless padding; no address maps to them).
+      const int address = std::min(slot * m + tag, bp - 1);
+      const auto qp = table.quantized_pair(address);
+      pairs.push_back(noc::SlopeBiasPair{qp.slope, qp.bias});
+    }
+    schedule.flits.emplace_back(tag, std::move(pairs));
+  }
+  return schedule;
+}
+
+MappingCheck check_mapping(const hw::TechParams& tech, int routers,
+                           double spacing_mm, double accel_freq_mhz,
+                           int noc_clock_multiplier) {
+  NOVA_EXPECTS(routers >= 1);
+  NOVA_EXPECTS(noc_clock_multiplier >= 1);
+  MappingCheck check;
+  check.noc_freq_mhz = accel_freq_mhz * noc_clock_multiplier;
+  check.max_hops_per_cycle =
+      hw::max_hops_per_cycle(tech, accel_freq_mhz, spacing_mm);
+  const hw::LineNocLayout layout{routers, spacing_mm};
+  check.broadcast_accel_cycles =
+      hw::broadcast_latency_cycles(tech, accel_freq_mhz, layout);
+  check.single_cycle_lookup = check.broadcast_accel_cycles == 1;
+  return check;
+}
+
+}  // namespace nova::core

@@ -1,0 +1,59 @@
+// The NOVA mapper (paper Section IV): schedules the cycle-by-cycle
+// operation of the NOVA NoC. Given a trained PWL table and the link's
+// pairs-per-flit capacity, it
+//   * picks the NoC clock multiplier (ceil(breakpoints / pairs_per_flit))
+//     that keeps the lookup latency at one accelerator cycle,
+//   * lays the (slope, bias) pairs out into tagged flits so that a router
+//     can locate any pair from its lookup address alone: tag = address mod
+//     multiplier (the LSB for the paper's 2-flit case), slot = address div
+//     multiplier (the "remaining bits"),
+//   * validates the broadcast against the physical timing model.
+#pragma once
+
+#include <vector>
+
+#include "approx/pwl.hpp"
+#include "hwmodel/tech.hpp"
+#include "hwmodel/timing.hpp"
+#include "noc/flit.hpp"
+
+namespace nova::core {
+
+/// The flit train broadcast every accelerator cycle.
+struct BroadcastSchedule {
+  /// One flit per NoC cycle, in injection order; flit f carries tag f.
+  std::vector<noc::Flit> flits;
+  /// NoC clock multiplier relative to the accelerator clock.
+  int noc_clock_multiplier = 1;
+
+  /// Decomposes a lookup address into (tag, slot).
+  [[nodiscard]] int tag_of(int address) const {
+    return address % noc_clock_multiplier;
+  }
+  [[nodiscard]] int slot_of(int address) const {
+    return address / noc_clock_multiplier;
+  }
+};
+
+/// Builds the broadcast schedule for `table` on a link carrying
+/// `pairs_per_flit` pairs. Fails (contract) if the table is empty.
+[[nodiscard]] BroadcastSchedule make_schedule(const approx::PwlTable& table,
+                                              int pairs_per_flit);
+
+/// Result of the mapper's physical validation of a deployment.
+struct MappingCheck {
+  bool single_cycle_lookup = false;   ///< broadcast fits one accel cycle
+  int broadcast_accel_cycles = 1;     ///< accel cycles to reach all routers
+  double noc_freq_mhz = 0.0;
+  int max_hops_per_cycle = 0;
+};
+
+/// Validates a deployment of `routers` at `spacing_mm` against the timing
+/// model: the broadcast (judged at the accelerator clock, since the line is
+/// wave-pipelined) must reach the last router within one lookup cycle.
+[[nodiscard]] MappingCheck check_mapping(const hw::TechParams& tech,
+                                         int routers, double spacing_mm,
+                                         double accel_freq_mhz,
+                                         int noc_clock_multiplier);
+
+}  // namespace nova::core

@@ -1,0 +1,49 @@
+// Overlay adapters (paper Section III.B): how the NOVA NoC attaches to
+// third-party accelerators -- REACT's weighted-sum NoC routers, the TPU's
+// MXU systolic arrays, and NVDLA's convolution cores -- plus the energy
+// accounting that turns cycle-simulation statistics into pJ via the
+// hardware component models.
+#pragma once
+
+#include <string>
+
+#include "core/vector_unit.hpp"
+#include "hwmodel/calibration.hpp"
+
+namespace nova::core {
+
+/// A NOVA deployment bound to a host accelerator.
+struct OverlayDescription {
+  hw::AcceleratorKind host = hw::AcceleratorKind::kTpuV4;
+  NovaConfig nova;
+  /// Where the overlay taps the host datapath (paper Fig 5).
+  std::string attachment;
+  /// The matching configuration for the hardware cost model.
+  hw::VectorUnitConfig cost_config;
+};
+
+/// Builds the paper's overlay for the given host (Table II parameters).
+[[nodiscard]] OverlayDescription make_overlay(hw::AcceleratorKind host);
+
+/// Energy breakdown of one simulated batch, from operation counts.
+struct EnergyReport {
+  double comparator_pj = 0.0;
+  double select_pj = 0.0;
+  double mac_pj = 0.0;
+  double wire_pj = 0.0;
+  double register_pj = 0.0;
+
+  [[nodiscard]] double total_pj() const {
+    return comparator_pj + select_pj + mac_pj + wire_pj + register_pj;
+  }
+};
+
+/// Converts an ApproxResult's statistics into energy using the component
+/// models: comparators/selects/MACs per element, wire energy per traversed
+/// segment, register energy per SMART latch.
+[[nodiscard]] EnergyReport estimate_energy(const hw::TechParams& tech,
+                                           const NovaConfig& config,
+                                           int breakpoints,
+                                           const ApproxResult& result);
+
+}  // namespace nova::core

@@ -1,0 +1,113 @@
+#include "core/softmax_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "hwmodel/components.hpp"
+
+namespace nova::core {
+
+NovaSoftmaxEngine::NovaSoftmaxEngine(const NovaConfig& config,
+                                     const approx::PwlTable& exp_table,
+                                     const approx::PwlTable& recip_table)
+    : config_(config), exp_table_(exp_table), recip_table_(recip_table) {
+  NOVA_EXPECTS(exp_table.breakpoints() == recip_table.breakpoints());
+}
+
+SoftmaxRunReport NovaSoftmaxEngine::run(
+    const std::vector<std::vector<double>>& rows) const {
+  SoftmaxRunReport report;
+  report.probabilities.resize(rows.size());
+  NovaVectorUnit unit(config_);
+  const auto routers = static_cast<std::size_t>(config_.routers);
+
+  // --- Phase 1: exp of max-shifted logits, rows round-robin over routers.
+  std::vector<std::vector<double>> exp_in(routers);
+  std::vector<double> row_max(rows.size(), 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].empty()) continue;
+    row_max[r] = *std::max_element(rows[r].begin(), rows[r].end());
+    for (const double x : rows[r]) {
+      exp_in[r % routers].push_back(x - row_max[r]);
+    }
+  }
+  const ApproxResult exp_result = unit.approximate(exp_table_, exp_in);
+  report.exp_cycles = exp_result.accel_cycles;
+
+  // Reassemble per-row exponentials and their sums.
+  std::vector<std::size_t> cursor(routers, 0);
+  std::vector<double> sums(rows.size(), 0.0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    auto& probs = report.probabilities[r];
+    probs.reserve(rows[r].size());
+    const std::size_t router = r % routers;
+    for (std::size_t i = 0; i < rows[r].size(); ++i) {
+      const double e =
+          std::max(0.0, exp_result.outputs[router][cursor[router] + i]);
+      probs.push_back(e);
+      sums[r] += e;
+    }
+    cursor[router] += rows[r].size();
+  }
+
+  // --- Phase 2: one reciprocal lookup per row, range-reduced into the
+  // table domain by halving (a shift in hardware).
+  std::vector<std::vector<double>> recip_in(routers);
+  std::vector<int> shifts(rows.size(), 0);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].empty()) continue;
+    double reduced = sums[r];
+    while (reduced > recip_table_.domain().hi) {
+      reduced *= 0.5;
+      ++shifts[r];
+    }
+    reduced = std::max(reduced, recip_table_.domain().lo);
+    recip_in[r % routers].push_back(reduced);
+  }
+  const ApproxResult recip_result = unit.approximate(recip_table_, recip_in);
+  report.recip_cycles = recip_result.accel_cycles;
+
+  // --- Phase 3: scale every exponential by its row's reciprocal on the
+  // MAC datapath (one multiply per element at unit throughput).
+  std::vector<std::size_t> recip_cursor(routers, 0);
+  std::size_t scale_ops = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].empty()) continue;
+    const std::size_t router = r % routers;
+    const double inv = recip_result.outputs[router][recip_cursor[router]++] *
+                       std::ldexp(1.0, -shifts[r]);
+    double sum = 0.0;
+    for (auto& p : report.probabilities[r]) {
+      p = Word16::mac(Word16::from_double(inv), Word16::from_double(p),
+                      Word16::from_double(0.0))
+              .to_double();
+      sum += p;
+      ++scale_ops;
+    }
+    report.worst_row_sum_error =
+        std::max(report.worst_row_sum_error, std::abs(sum - 1.0));
+  }
+  const auto throughput = static_cast<std::size_t>(
+      config_.routers * config_.neurons_per_router);
+  report.scale_cycles =
+      scale_ops == 0 ? 0 : (scale_ops + throughput - 1) / throughput + 1;
+
+  // --- Energy: both broadcast phases plus the scale multiplies.
+  const EnergyReport exp_energy = estimate_energy(
+      hw::tech22(), config_, exp_table_.breakpoints(), exp_result);
+  const EnergyReport recip_energy = estimate_energy(
+      hw::tech22(), config_, recip_table_.breakpoints(), recip_result);
+  report.energy.comparator_pj =
+      exp_energy.comparator_pj + recip_energy.comparator_pj;
+  report.energy.select_pj = exp_energy.select_pj + recip_energy.select_pj;
+  report.energy.mac_pj = exp_energy.mac_pj + recip_energy.mac_pj +
+                         static_cast<double>(scale_ops) *
+                             hw::mac_energy_pj(hw::tech22());
+  report.energy.wire_pj = exp_energy.wire_pj + recip_energy.wire_pj;
+  report.energy.register_pj =
+      exp_energy.register_pj + recip_energy.register_pj;
+  return report;
+}
+
+}  // namespace nova::core

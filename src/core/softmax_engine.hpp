@@ -1,0 +1,53 @@
+// Full NN-LUT-style softmax executed on the cycle-accurate NOVA unit
+// (paper Section IV): exp of the max-shifted logits via the broadcast NoC,
+// reciprocal of each row sum via a second (one-lookup-per-row) phase, and
+// the final per-element scale on the same MAC datapath. This is the
+// operator attention layers spend their non-linear time in, composed from
+// the primitives the paper's walkthroughs describe.
+#pragma once
+
+#include <vector>
+
+#include "core/overlay.hpp"
+#include "core/vector_unit.hpp"
+
+namespace nova::core {
+
+/// Cycle/energy account of one batched softmax execution.
+struct SoftmaxRunReport {
+  std::vector<std::vector<double>> probabilities;  ///< parallel to the rows
+  sim::Cycle exp_cycles = 0;
+  sim::Cycle recip_cycles = 0;
+  /// Scale multiplies run on the MAC datapath at unit throughput.
+  sim::Cycle scale_cycles = 0;
+  EnergyReport energy;
+
+  [[nodiscard]] sim::Cycle total_cycles() const {
+    return exp_cycles + recip_cycles + scale_cycles;
+  }
+  /// Worst row-sum deviation from 1.0 (quality metric).
+  double worst_row_sum_error = 0.0;
+};
+
+/// Executes softmax over independent rows on a NOVA vector unit.
+class NovaSoftmaxEngine {
+ public:
+  /// Tables must be exp/reciprocal fits (same breakpoint count).
+  NovaSoftmaxEngine(const NovaConfig& config,
+                    const approx::PwlTable& exp_table,
+                    const approx::PwlTable& recip_table);
+
+  /// Softmax over each row (rows may differ in length). Rows distribute
+  /// round-robin across routers, as an accelerator's output tiles would.
+  [[nodiscard]] SoftmaxRunReport run(
+      const std::vector<std::vector<double>>& rows) const;
+
+  [[nodiscard]] int breakpoints() const { return exp_table_.breakpoints(); }
+
+ private:
+  NovaConfig config_;
+  approx::PwlTable exp_table_;
+  approx::PwlTable recip_table_;
+};
+
+}  // namespace nova::core

@@ -1,0 +1,68 @@
+#include "hwmodel/components.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::hw {
+
+double register_area_um2(const TechParams& t, int bits) {
+  NOVA_EXPECTS(bits > 0);
+  return t.flop_area_um2_per_bit * bits;
+}
+
+double register_energy_pj(const TechParams& t, int bits) {
+  NOVA_EXPECTS(bits > 0);
+  return t.flop_energy_pj_per_bit * bits;
+}
+
+double bypass_mux_area_um2(const TechParams& t, int bits) {
+  NOVA_EXPECTS(bits > 0);
+  return t.mux2_area_um2_per_bit * bits;
+}
+
+double repeater_area_um2(const TechParams& t, int bits) {
+  NOVA_EXPECTS(bits > 0);
+  return t.repeater_area_um2_per_bit * bits;
+}
+
+double wire_energy_pj(const TechParams& t, int bits, double mm) {
+  NOVA_EXPECTS(bits > 0);
+  NOVA_EXPECTS(mm >= 0.0);
+  return t.wire_energy_pj_per_bit_mm * bits * mm;
+}
+
+double comparator_bank_area_um2(const TechParams& t, int breakpoints) {
+  NOVA_EXPECTS(breakpoints > 0);
+  return t.comparator_area_um2_per_breakpoint * breakpoints;
+}
+
+double comparator_bank_energy_pj(const TechParams& t, int breakpoints) {
+  NOVA_EXPECTS(breakpoints > 0);
+  return t.comparator_energy_pj * breakpoints;
+}
+
+double mac_area_um2(const TechParams& t) { return t.mac16_area_um2; }
+double mac_energy_pj(const TechParams& t) { return t.mac16_energy_pj; }
+
+double select_area_um2(const TechParams& t) { return t.select_area_um2; }
+double select_energy_pj(const TechParams& t) { return t.select_energy_pj; }
+
+double sram_bank_area_um2(const TechParams& t, int bytes, int ports) {
+  NOVA_EXPECTS(bytes > 0);
+  NOVA_EXPECTS(ports >= 1);
+  const double base = t.sram_area_um2_per_byte_1p * bytes;
+  return base * (1.0 + t.sram_port_area_factor * (ports - 1));
+}
+
+double sram_read_energy_pj(const TechParams& t, int bytes_read, int ports) {
+  NOVA_EXPECTS(bytes_read > 0);
+  NOVA_EXPECTS(ports >= 1);
+  const double base = t.sram_read_energy_pj_per_byte * bytes_read;
+  return base * (1.0 + t.sram_port_energy_factor * (ports - 1));
+}
+
+double leakage_mw(const TechParams& t, double area_um2) {
+  NOVA_EXPECTS(area_um2 >= 0.0);
+  return t.leakage_mw_per_mm2 * (area_um2 / 1.0e6);
+}
+
+}  // namespace nova::hw

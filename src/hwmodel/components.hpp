@@ -1,0 +1,52 @@
+// Component-level area/energy primitives. Each function models one physical
+// building block of either the NOVA router or a LUT-based vector unit; the
+// roll-ups in vector_unit_cost.cpp compose them.
+#pragma once
+
+#include "hwmodel/tech.hpp"
+
+namespace nova::hw {
+
+/// A register stage of `bits` flip-flops.
+[[nodiscard]] double register_area_um2(const TechParams& t, int bits);
+/// Energy of clocking the register once with typical data toggle.
+[[nodiscard]] double register_energy_pj(const TechParams& t, int bits);
+
+/// Bypass mux (2:1, `bits` wide) on the router east-input path.
+[[nodiscard]] double bypass_mux_area_um2(const TechParams& t, int bits);
+
+/// Clockless repeater bank driving `bits` wires of `mm` length.
+[[nodiscard]] double repeater_area_um2(const TechParams& t, int bits);
+
+/// Energy to drive `bits` over `mm` of inter-router wire (repeaters
+/// included).
+[[nodiscard]] double wire_energy_pj(const TechParams& t, int bits, double mm);
+
+/// Comparator bank for one neuron: one comparator per breakpoint plus the
+/// priority encoder producing the lookup address.
+[[nodiscard]] double comparator_bank_area_um2(const TechParams& t,
+                                              int breakpoints);
+[[nodiscard]] double comparator_bank_energy_pj(const TechParams& t,
+                                               int breakpoints);
+
+/// The a*x+b MAC slice at one neuron.
+[[nodiscard]] double mac_area_um2(const TechParams& t);
+[[nodiscard]] double mac_energy_pj(const TechParams& t);
+
+/// Slope/bias pair-select mux plus capture register at one neuron.
+[[nodiscard]] double select_area_um2(const TechParams& t);
+[[nodiscard]] double select_energy_pj(const TechParams& t);
+
+/// SRAM/register-file bank of `bytes` with `ports` simultaneous read ports.
+/// ports == 1 is the per-neuron LUT bank; larger values model the shared
+/// per-core LUT bank.
+[[nodiscard]] double sram_bank_area_um2(const TechParams& t, int bytes,
+                                        int ports);
+/// Energy for one `bytes_read`-byte read on a bank with `ports` ports.
+[[nodiscard]] double sram_read_energy_pj(const TechParams& t, int bytes_read,
+                                         int ports);
+
+/// Leakage power for a block of `area_um2`.
+[[nodiscard]] double leakage_mw(const TechParams& t, double area_um2);
+
+}  // namespace nova::hw

@@ -1,0 +1,100 @@
+// Technology parameters for the commercial 22 nm / 0.8 V process the paper
+// synthesizes on, plus node-scaling helpers for cross-paper comparisons
+// (NACU is reported at 28 nm).
+//
+// The constants below are *structural defaults*: standard-cell-scale numbers
+// chosen so that the component roll-ups in vector_unit_cost.cpp land on the
+// paper's published synthesis anchors (Table III, Table IV, Figs 6-7) within
+// a few percent before per-accelerator calibration. The derivation of each
+// fit is documented next to the constant. Per-accelerator residuals are
+// absorbed by calibration.cpp and printed by every bench.
+#pragma once
+
+#include <algorithm>
+
+namespace nova::hw {
+
+/// Process/voltage/temperature-corner level constants at 22 nm, 0.8 V.
+struct TechParams {
+  // --- Area (um^2) -------------------------------------------------------
+  /// One flip-flop bit including local clock buffering. The 257-bit NOVA
+  /// link register costs 257 * this.
+  double flop_area_um2_per_bit = 2.0;
+  /// One 2:1 mux bit on the router bypass path.
+  double mux2_area_um2_per_bit = 0.9;
+  /// One clockless-repeater driver bit on the output link (SMART-style).
+  double repeater_area_um2_per_bit = 0.6;
+  /// Router control FSM (buffer/forward setting, tag handling).
+  double router_control_area_um2 = 86.0;
+  /// One 16-bit breakpoint comparator (the comparator bank has one per
+  /// breakpoint). Fit: NOVA slice = 16*8.5 + mac + select = 801 um^2,
+  /// matching the per-neuron slope of Table III across NVDLA/TPU configs.
+  double comparator_area_um2_per_breakpoint = 8.5;
+  /// 16x16 multiply + 32-bit add + saturate (the a*x+b MAC).
+  double mac16_area_um2 = 580.0;
+  /// Slope/bias capture register + pair-select mux at each neuron.
+  double select_area_um2 = 85.0;
+  /// Single-ported register-file/SRAM bank, per byte. Fit so a 64 B LUT bank
+  /// is ~1780 um^2, splitting the REACT (+5%) / TPU (-4%) anchor residuals.
+  double sram_area_um2_per_byte_1p = 27.8;
+  /// Multi-port growth: bank area multiplier is (1 + factor * (ports - 1)).
+  /// Physical multi-port cells grow super-linearly; banked/replicated
+  /// implementations grow linearly. The default models replication cost.
+  double sram_port_area_factor = 0.66;
+
+  // --- Energy (pJ per operation at 0.8 V) --------------------------------
+  double flop_energy_pj_per_bit = 0.0012;   ///< per clocked bit toggle
+  double wire_energy_pj_per_bit_mm = 0.020; ///< repeated low-swing broadcast wire
+  double comparator_energy_pj = 0.004;      ///< per breakpoint compare
+  double mac16_energy_pj = 0.25;            ///< per a*x+b evaluation
+  double select_energy_pj = 0.010;          ///< pair mux + capture
+  /// 1-port bank read, per byte. Fit: a 4-byte slope/bias fetch at ~1 pJ
+  /// reproduces the per-neuron-LUT power anchors of Table III (REACT within
+  /// +12%, TPU within +1%).
+  double sram_read_energy_pj_per_byte = 0.25;
+  /// Multi-port read-energy multiplier per extra port (wordline/bitline
+  /// loading growth). Fit against the TPU per-core-LUT power anchor.
+  double sram_port_energy_factor = 0.25;
+  /// Static power per placed area.
+  double leakage_mw_per_mm2 = 0.15;
+
+  // --- Timing (ps) --------------------------------------------------------
+  /// Propagation along one mm of repeated wire between routers.
+  double wire_delay_ps_per_mm = 55.0;
+  /// Per-hop bypass-path delay (mux + clockless repeater), excluding wire.
+  double router_bypass_delay_ps = 7.6;
+  /// Launch flop clk->q plus capture setup at the far end of the line.
+  double timing_overhead_ps = 40.0;
+
+  // --- Synthesis corner behaviour ----------------------------------------
+  /// Relaxed-timing synthesis shrinks cells. Area derating factor at a given
+  /// clock: 0.88 at <=240 MHz rising linearly to 1.0 at >=1.4 GHz (fit from
+  /// the REACT-vs-TPU per-neuron area anchors of Table III).
+  [[nodiscard]] double area_derate(double freq_mhz) const {
+    const double lo = 240.0, hi = 1400.0;
+    const double t = std::clamp((freq_mhz - lo) / (hi - lo), 0.0, 1.0);
+    return 0.88 + 0.12 * t;
+  }
+};
+
+/// Default 22 nm parameters (the paper's synthesis node).
+[[nodiscard]] inline const TechParams& tech22() {
+  static const TechParams params{};
+  return params;
+}
+
+/// First-order node scaling for published numbers from another node:
+/// area scales with the square of feature size, dynamic power roughly
+/// linearly with feature size at constant voltage/frequency.
+[[nodiscard]] inline double scale_area(double area, double from_nm,
+                                       double to_nm) {
+  const double s = to_nm / from_nm;
+  return area * s * s;
+}
+
+[[nodiscard]] inline double scale_power(double power, double from_nm,
+                                        double to_nm) {
+  return power * (to_nm / from_nm);
+}
+
+}  // namespace nova::hw

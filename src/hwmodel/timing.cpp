@@ -1,0 +1,45 @@
+#include "hwmodel/timing.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace nova::hw {
+
+double hop_delay_ps(const TechParams& t, double spacing_mm) {
+  NOVA_EXPECTS(spacing_mm > 0.0);
+  return t.wire_delay_ps_per_mm * spacing_mm + t.router_bypass_delay_ps;
+}
+
+int max_hops_per_cycle(const TechParams& t, double freq_mhz,
+                       double spacing_mm) {
+  NOVA_EXPECTS(freq_mhz > 0.0);
+  const double period_ps = 1.0e6 / freq_mhz;
+  const double usable_ps = period_ps - t.timing_overhead_ps;
+  if (usable_ps <= 0.0) return 0;
+  return static_cast<int>(usable_ps / hop_delay_ps(t, spacing_mm));
+}
+
+int broadcast_latency_cycles(const TechParams& t, double freq_mhz,
+                             const LineNocLayout& layout) {
+  NOVA_EXPECTS(layout.routers >= 1);
+  // Traversing an n-router line crosses n segments: the injection segment
+  // from the mapper's source into router 0 plus n-1 inter-router segments.
+  // This matches the paper's count ("a maximum of 10 routers ... can be
+  // traversed at 1.5 GHz" with 10 hops per cycle).
+  const int hops = layout.routers;
+  const int per_cycle = max_hops_per_cycle(t, freq_mhz, layout.spacing_mm);
+  NOVA_EXPECTS(per_cycle >= 1);  // clock too fast to cross even one hop
+  return (hops + per_cycle - 1) / per_cycle;
+}
+
+double max_single_cycle_freq_mhz(const TechParams& t,
+                                 const LineNocLayout& layout) {
+  NOVA_EXPECTS(layout.routers >= 1);
+  const int hops = layout.routers;  // injection segment + inter-router hops
+  const double path_ps =
+      hops * hop_delay_ps(t, layout.spacing_mm) + t.timing_overhead_ps;
+  return 1.0e6 / path_ps;
+}
+
+}  // namespace nova::hw

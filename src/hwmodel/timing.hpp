@@ -1,0 +1,44 @@
+// Timing analysis of the NOVA line NoC with clockless repeaters.
+//
+// The paper (Section V.A, Scalability): "a maximum of 10 routers with
+// clockless repeaters placed 1 mm apart can be traversed at 1.5 GHz clock".
+// This module reproduces that analysis: given a clock frequency and the
+// router spacing, how many hops can a flit traverse combinationally within
+// one cycle, and conversely what is the broadcast latency in cycles for an
+// n-router line.
+#pragma once
+
+#include "hwmodel/tech.hpp"
+
+namespace nova::hw {
+
+/// Physical layout of the line NoC.
+struct LineNocLayout {
+  int routers = 10;
+  double spacing_mm = 1.0;  ///< distance between adjacent routers
+};
+
+/// Delay of one hop: inter-router wire plus the bypass path through one
+/// router (mux + clockless repeater).
+[[nodiscard]] double hop_delay_ps(const TechParams& t, double spacing_mm);
+
+/// Maximum number of hops traversable combinationally in a single cycle of
+/// `freq_mhz`, after subtracting launch/capture overhead. At 1500 MHz and
+/// 1 mm spacing this returns 10, matching the paper.
+[[nodiscard]] int max_hops_per_cycle(const TechParams& t, double freq_mhz,
+                                     double spacing_mm);
+
+/// Number of NoC cycles for a broadcast to reach all routers of the line:
+/// ceil((routers - 1) / max_hops_per_cycle) with a floor of 1 (a broadcast
+/// occupies at least the injection cycle).
+[[nodiscard]] int broadcast_latency_cycles(const TechParams& t,
+                                           double freq_mhz,
+                                           const LineNocLayout& layout);
+
+/// Highest clock (MHz) at which the whole line is still single-cycle
+/// traversable, i.e. the frequency where max_hops_per_cycle first covers
+/// routers-1 hops.
+[[nodiscard]] double max_single_cycle_freq_mhz(const TechParams& t,
+                                               const LineNocLayout& layout);
+
+}  // namespace nova::hw

@@ -1,0 +1,253 @@
+#include "hwmodel/vector_unit_cost.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "hwmodel/components.hpp"
+
+namespace nova::hw {
+
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+/// Comparator + select + MAC: present in every organization, per neuron.
+double neuron_slice_area_um2(const TechParams& t,
+                             const VectorUnitConfig& cfg) {
+  return comparator_bank_area_um2(t, cfg.breakpoints) + select_area_um2(t) +
+         mac_area_um2(t);
+}
+
+double neuron_slice_energy_pj(const TechParams& t,
+                              const VectorUnitConfig& cfg) {
+  return comparator_bank_energy_pj(t, cfg.breakpoints) + select_energy_pj(t) +
+         mac_energy_pj(t);
+}
+
+/// NOVA router fixed datapath: 257-bit input register bank, bypass mux,
+/// clockless repeaters, control.
+double nova_fixed_area_um2(const TechParams& t, const VectorUnitConfig& cfg) {
+  const int bits = cfg.link_bits();
+  return register_area_um2(t, bits) + bypass_mux_area_um2(t, bits) +
+         repeater_area_um2(t, bits) + t.router_control_area_um2;
+}
+
+UnitCost cost_nova(const TechParams& t, const VectorUnitConfig& cfg) {
+  UnitCost cost;
+  const double derate = t.area_derate(cfg.accel_freq_mhz);
+  const double per_router =
+      nova_fixed_area_um2(t, cfg) +
+      cfg.neurons_per_unit * neuron_slice_area_um2(t, cfg);
+  cost.area_um2 = derate * per_router * cfg.units;
+
+  // Dynamic power. Slices fire at the accelerator clock; the link registers
+  // and wires toggle at the NoC clock (multiplier set by the mapper).
+  const double f_accel_hz = cfg.accel_freq_mhz * 1.0e6;
+  const double f_noc_hz = cfg.noc_freq_mhz() * 1.0e6;
+  const int bits = cfg.link_bits();
+  const int segments = cfg.units > 1 ? cfg.units - 1 : 0;
+
+  const double slice_w = cfg.total_neurons() *
+                         neuron_slice_energy_pj(t, cfg) * 1.0e-12 *
+                         f_accel_hz * cfg.activity;
+  const double reg_w = cfg.units * register_energy_pj(t, bits) * 1.0e-12 *
+                       f_noc_hz * cfg.activity;
+  const double wire_w = segments *
+                        wire_energy_pj(t, bits, cfg.spacing_mm) * 1.0e-12 *
+                        f_noc_hz * cfg.activity;
+  const double leak_w = leakage_mw(t, cost.area_um2) * 1.0e-3;
+  cost.power_mw = (slice_w + reg_w + wire_w + leak_w) * 1.0e3;
+
+  // Marginal energy per approximated element: the slice energy plus the
+  // broadcast energy amortized over every neuron served by the flit train.
+  const double flit_train_pj =
+      (cfg.units * register_energy_pj(t, bits) +
+       segments * wire_energy_pj(t, bits, cfg.spacing_mm)) *
+      cfg.noc_clock_multiplier();
+  cost.energy_per_approx_pj =
+      neuron_slice_energy_pj(t, cfg) +
+      flit_train_pj / std::max(1, cfg.total_neurons());
+  cost.throughput_elems_per_cycle = cfg.total_neurons();
+  cost.latency_cycles = 2;  // lookup cycle + MAC cycle (Section II/III)
+  return cost;
+}
+
+UnitCost cost_per_neuron_lut(const TechParams& t,
+                             const VectorUnitConfig& cfg) {
+  UnitCost cost;
+  const double derate = t.area_derate(cfg.accel_freq_mhz);
+  const double per_neuron =
+      sram_bank_area_um2(t, cfg.lut_bank_bytes, /*ports=*/1) +
+      neuron_slice_area_um2(t, cfg);
+  cost.area_um2 = derate * per_neuron * cfg.total_neurons();
+
+  // One pair (slope + bias = 4 bytes) is fetched per neuron per cycle.
+  const int pair_bytes = 2 * cfg.word_bits / 8;
+  const double per_approx_pj =
+      sram_read_energy_pj(t, pair_bytes, /*ports=*/1) +
+      neuron_slice_energy_pj(t, cfg);
+  const double f_accel_hz = cfg.accel_freq_mhz * 1.0e6;
+  const double dyn_w = cfg.total_neurons() * per_approx_pj * 1.0e-12 *
+                       f_accel_hz * cfg.activity;
+  const double leak_w = leakage_mw(t, cost.area_um2) * 1.0e-3;
+  cost.power_mw = (dyn_w + leak_w) * 1.0e3;
+
+  cost.energy_per_approx_pj = per_approx_pj;
+  cost.throughput_elems_per_cycle = cfg.total_neurons();
+  cost.latency_cycles = 2;  // fetch + MAC (NN-LUT walkthrough, Section II)
+  return cost;
+}
+
+UnitCost cost_per_core_lut(const TechParams& t, const VectorUnitConfig& cfg) {
+  UnitCost cost;
+  const double derate = t.area_derate(cfg.accel_freq_mhz);
+  // One logical LUT per core, physically realized as replicated multi-ported
+  // banks so that all neurons can fetch each cycle: neurons_per_unit
+  // accesses must be served by (banks x ports x time_mux).
+  const int accesses = cfg.neurons_per_unit;
+  const int per_bank = cfg.bank_ports * cfg.time_mux;
+  const int banks = ceil_div(accesses, per_bank);
+  const double bank_area =
+      banks * sram_bank_area_um2(t, cfg.lut_bank_bytes, cfg.bank_ports);
+  const double per_unit =
+      bank_area + cfg.neurons_per_unit * neuron_slice_area_um2(t, cfg);
+  cost.area_um2 = derate * per_unit * cfg.units;
+
+  const int pair_bytes = 2 * cfg.word_bits / 8;
+  const double per_approx_pj =
+      sram_read_energy_pj(t, pair_bytes, cfg.bank_ports) +
+      neuron_slice_energy_pj(t, cfg);
+  const double f_accel_hz = cfg.accel_freq_mhz * 1.0e6;
+  const double dyn_w = cfg.total_neurons() * per_approx_pj * 1.0e-12 *
+                       f_accel_hz * cfg.activity;
+  const double leak_w = leakage_mw(t, cost.area_um2) * 1.0e-3;
+  cost.power_mw = (dyn_w + leak_w) * 1.0e3;
+
+  cost.energy_per_approx_pj = per_approx_pj;
+  cost.throughput_elems_per_cycle = cfg.total_neurons();
+  cost.latency_cycles = 2;
+  return cost;
+}
+
+UnitCost cost_nvdla_sdp(const TechParams& t, const VectorUnitConfig& cfg) {
+  UnitCost cost;
+  const double derate = t.area_derate(cfg.accel_freq_mhz);
+  // NVDLA's SDP keeps two LUT tables (LE: exponential spacing, LO: linear
+  // spacing) per lane plus an interpolation datapath roughly twice the a*x+b
+  // MAC, and per-lane control.
+  const double per_neuron =
+      2.0 * sram_bank_area_um2(t, cfg.lut_bank_bytes, /*ports=*/1) +
+      2.0 * mac_area_um2(t) +
+      comparator_bank_area_um2(t, cfg.breakpoints) + select_area_um2(t);
+  cost.area_um2 = derate * per_neuron * cfg.total_neurons();
+
+  const int pair_bytes = 2 * cfg.word_bits / 8;
+  const double per_approx_pj =
+      2.0 * sram_read_energy_pj(t, pair_bytes, /*ports=*/1) +
+      2.0 * mac_energy_pj(t) + comparator_bank_energy_pj(t, cfg.breakpoints) +
+      select_energy_pj(t);
+  const double f_accel_hz = cfg.accel_freq_mhz * 1.0e6;
+  const double dyn_w = cfg.total_neurons() * per_approx_pj * 1.0e-12 *
+                       f_accel_hz * cfg.activity;
+  const double leak_w = leakage_mw(t, cost.area_um2) * 1.0e-3;
+  cost.power_mw = (dyn_w + leak_w) * 1.0e3;
+
+  cost.energy_per_approx_pj = per_approx_pj;
+  cost.throughput_elems_per_cycle = cfg.total_neurons();
+  cost.latency_cycles = 2;
+  return cost;
+}
+
+}  // namespace
+
+const char* to_string(UnitKind kind) {
+  switch (kind) {
+    case UnitKind::kNovaNoc: return "NOVA NoC";
+    case UnitKind::kPerNeuronLut: return "per-neuron LUT";
+    case UnitKind::kPerCoreLut: return "per-core LUT";
+    case UnitKind::kNvdlaSdp: return "NVDLA SDP";
+  }
+  return "?";
+}
+
+const char* to_string(AcceleratorKind kind) {
+  switch (kind) {
+    case AcceleratorKind::kReact: return "REACT";
+    case AcceleratorKind::kTpuV3: return "TPU v3-like";
+    case AcceleratorKind::kTpuV4: return "TPU v4-like";
+    case AcceleratorKind::kJetsonNvdla: return "Jetson Xavier NX (NVDLA)";
+  }
+  return "?";
+}
+
+UnitCost estimate_cost(const TechParams& tech, const VectorUnitConfig& cfg) {
+  NOVA_EXPECTS(cfg.units >= 1);
+  NOVA_EXPECTS(cfg.neurons_per_unit >= 1);
+  NOVA_EXPECTS(cfg.breakpoints >= 1);
+  NOVA_EXPECTS(cfg.pairs_per_flit >= 1);
+  NOVA_EXPECTS(cfg.accel_freq_mhz > 0.0);
+  switch (cfg.kind) {
+    case UnitKind::kNovaNoc: return cost_nova(tech, cfg);
+    case UnitKind::kPerNeuronLut: return cost_per_neuron_lut(tech, cfg);
+    case UnitKind::kPerCoreLut: return cost_per_core_lut(tech, cfg);
+    case UnitKind::kNvdlaSdp: return cost_nvdla_sdp(tech, cfg);
+  }
+  NOVA_ASSERT(false);
+  return {};
+}
+
+VectorUnitConfig paper_unit_config(AcceleratorKind accel, UnitKind kind) {
+  VectorUnitConfig cfg;
+  cfg.kind = kind;
+  switch (accel) {
+    case AcceleratorKind::kReact:
+      cfg.units = 10;
+      cfg.neurons_per_unit = 256;
+      cfg.accel_freq_mhz = 240.0;
+      // REACT's low core clock lets the shared bank be double-pumped with
+      // only two physical ports (Section V.C discussion of port cost).
+      cfg.bank_ports = 2;
+      cfg.time_mux = 2;
+      break;
+    case AcceleratorKind::kTpuV3:
+      cfg.units = 4;
+      cfg.neurons_per_unit = 128;
+      cfg.accel_freq_mhz = 1400.0;
+      cfg.bank_ports = 8;
+      cfg.time_mux = 1;
+      break;
+    case AcceleratorKind::kTpuV4:
+      cfg.units = 8;
+      cfg.neurons_per_unit = 128;
+      cfg.accel_freq_mhz = 1400.0;
+      cfg.bank_ports = 8;
+      cfg.time_mux = 1;
+      break;
+    case AcceleratorKind::kJetsonNvdla:
+      cfg.units = 2;
+      cfg.neurons_per_unit = 16;
+      cfg.accel_freq_mhz = 1400.0;
+      cfg.bank_ports = 2;
+      cfg.time_mux = 1;
+      break;
+  }
+  return cfg;
+}
+
+double nova_slice_area_um2(const TechParams& tech) {
+  VectorUnitConfig cfg;  // defaults: 16 breakpoints, 8 pairs/flit
+  // One neuron slice plus the router fixed cost amortized over the paper's
+  // 10-router REACT deployment (Table IV context).
+  return neuron_slice_area_um2(tech, cfg) +
+         nova_fixed_area_um2(tech, cfg) / 10.0;
+}
+
+double nova_slice_power_mw(const TechParams& tech) {
+  VectorUnitConfig cfg;
+  const double f_hz = 1400.0e6;
+  const double activity = 0.1;  // Table IV reports nominal-activity power
+  return neuron_slice_energy_pj(tech, cfg) * 1.0e-12 * f_hz * activity *
+         1.0e3;
+}
+
+}  // namespace nova::hw

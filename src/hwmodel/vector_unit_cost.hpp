@@ -1,0 +1,101 @@
+// Area/power/energy roll-ups for the four vector-unit organizations the
+// paper compares (Section V.B-E):
+//
+//   * NOVA NoC       - 1-D broadcast line; slope/bias "stored in the wires";
+//                      per neuron only a comparator bank + select + MAC.
+//   * per-neuron LUT - NN-LUT mapped naively: each neuron owns a 64 B
+//                      single-ported bank holding all slope/bias pairs.
+//   * per-core LUT   - one shared multi-ported (optionally banked and
+//                      time-multiplexed) 64 B LUT per core.
+//   * NVDLA SDP      - NVDLA's native LUT-based Single-point Data Processor,
+//                      modeled as dual LUT tables + interpolation datapath.
+//
+// All organizations share the comparator + MAC slice, so the comparison
+// isolates exactly what the paper isolates: memory+ports vs wires.
+#pragma once
+
+#include "hwmodel/tech.hpp"
+
+namespace nova::hw {
+
+/// Which vector-unit organization is being costed.
+enum class UnitKind { kNovaNoc, kPerNeuronLut, kPerCoreLut, kNvdlaSdp };
+
+/// Host accelerators evaluated in the paper (Table II).
+enum class AcceleratorKind { kReact, kTpuV3, kTpuV4, kJetsonNvdla };
+
+[[nodiscard]] const char* to_string(UnitKind kind);
+[[nodiscard]] const char* to_string(AcceleratorKind kind);
+
+/// Full parameterization of a vector-unit deployment.
+struct VectorUnitConfig {
+  UnitKind kind = UnitKind::kNovaNoc;
+  /// NOVA routers, or LUT/SDP instances (one per core/MXU).
+  int units = 1;
+  /// Output neurons served by each unit.
+  int neurons_per_unit = 128;
+  /// Piecewise-linear breakpoints (16 in the paper's evaluation).
+  int breakpoints = 16;
+  /// Slope/bias pairs carried per NOVA flit (8 in the paper -> 257-bit link).
+  int pairs_per_flit = 8;
+  int word_bits = 16;
+  double accel_freq_mhz = 1400.0;
+  /// Distance between adjacent NOVA routers.
+  double spacing_mm = 1.0;
+  /// Switching-activity / duty factor applied to all dynamic power.
+  double activity = 0.4;
+  /// LUT storage per bank: 16 pairs x 2 words x 2 bytes = 64 B (paper V.B).
+  int lut_bank_bytes = 64;
+  /// Physical read ports on the shared per-core bank.
+  int bank_ports = 8;
+  /// Neurons sharing one physical port by multi-pumping (feasible at low
+  /// core clocks; REACT runs its banks double-pumped).
+  int time_mux = 1;
+
+  /// Link width in bits: 16 words (8 slope/bias pairs) + 1 tag = 257.
+  [[nodiscard]] int link_bits() const {
+    return 2 * pairs_per_flit * word_bits + 1;
+  }
+  /// NoC clock multiplier chosen by the mapper so all breakpoints broadcast
+  /// within one accelerator cycle (Section IV): ceil(bp / pairs_per_flit).
+  [[nodiscard]] int noc_clock_multiplier() const {
+    return (breakpoints + pairs_per_flit - 1) / pairs_per_flit;
+  }
+  [[nodiscard]] double noc_freq_mhz() const {
+    return accel_freq_mhz * noc_clock_multiplier();
+  }
+  [[nodiscard]] int total_neurons() const { return units * neurons_per_unit; }
+};
+
+/// Cost summary for one deployment (totals across all units).
+struct UnitCost {
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+  /// Marginal energy to approximate one element (one a*x+b evaluation with
+  /// its lookup), including the unit's amortized broadcast/storage energy.
+  double energy_per_approx_pj = 0.0;
+  /// Peak approximations per accelerator cycle across the deployment.
+  double throughput_elems_per_cycle = 0.0;
+  /// Latency of one approximation in accelerator cycles (lookup + MAC).
+  int latency_cycles = 2;
+
+  [[nodiscard]] double area_mm2() const { return area_um2 / 1.0e6; }
+};
+
+/// Structural (uncalibrated) cost estimate from component models.
+[[nodiscard]] UnitCost estimate_cost(const TechParams& tech,
+                                     const VectorUnitConfig& cfg);
+
+/// The deployment configuration the paper uses for a given accelerator and
+/// unit organization (Table II + Section V.B choices).
+[[nodiscard]] VectorUnitConfig paper_unit_config(AcceleratorKind accel,
+                                                 UnitKind kind);
+
+/// Table IV "NOVA" row: a single approximator slice with its amortized share
+/// of the NoC fixed cost (amortized over the paper's 10-router REACT
+/// deployment), at 22 nm.
+[[nodiscard]] double nova_slice_area_um2(const TechParams& tech);
+/// Table IV NOVA power: slice at 1.4 GHz and 10% activity.
+[[nodiscard]] double nova_slice_power_mw(const TechParams& tech);
+
+}  // namespace nova::hw

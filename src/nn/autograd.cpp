@@ -1,0 +1,722 @@
+#include "nn/autograd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "approx/functions.hpp"
+#include "common/assert.hpp"
+
+namespace nova::nn {
+
+namespace {
+
+Var make_node(Tensor value, std::vector<Var> parents,
+              std::function<void(Node&)> backprop) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  node->requires_grad =
+      std::any_of(node->parents.begin(), node->parents.end(),
+                  [](const Var& p) { return p->requires_grad; });
+  if (node->requires_grad) node->backprop = std::move(backprop);
+  return node;
+}
+
+/// dL/dx of exact GeLU: Phi(x) + x * phi(x).
+float gelu_derivative(float x) {
+  constexpr float kInvSqrt2 = 0.7071067811865475f;
+  constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+  const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+  const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+  return cdf + x * pdf;
+}
+
+}  // namespace
+
+Var make_param(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return node;
+}
+
+Var make_input(Tensor value) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return node;
+}
+
+Var matmul_op(const Var& a, const Var& b) {
+  Tensor out = matmul(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    const Var& a = n.parents[0];
+    const Var& b = n.parents[1];
+    if (a->requires_grad) {
+      a->ensure_grad();
+      const Tensor da = matmul_nt(n.grad, b->value);  // dC * B^T
+      for (std::size_t i = 0; i < da.numel(); ++i) {
+        a->grad.flat()[i] += da.flat()[i];
+      }
+    }
+    if (b->requires_grad) {
+      b->ensure_grad();
+      const Tensor db = matmul_tn(a->value, n.grad);  // A^T * dC
+      for (std::size_t i = 0; i < db.numel(); ++i) {
+        b->grad.flat()[i] += db.flat()[i];
+      }
+    }
+  });
+}
+
+Var matmul_nt_op(const Var& a, const Var& b) {
+  Tensor out = matmul_nt(a->value, b->value);
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    const Var& a = n.parents[0];
+    const Var& b = n.parents[1];
+    if (a->requires_grad) {
+      a->ensure_grad();
+      const Tensor da = matmul(n.grad, b->value);  // dC * B
+      for (std::size_t i = 0; i < da.numel(); ++i) {
+        a->grad.flat()[i] += da.flat()[i];
+      }
+    }
+    if (b->requires_grad) {
+      b->ensure_grad();
+      const Tensor db = matmul_tn(n.grad, a->value);  // dC^T * A
+      for (std::size_t i = 0; i < db.numel(); ++i) {
+        b->grad.flat()[i] += db.flat()[i];
+      }
+    }
+  });
+}
+
+Var add_op(const Var& a, const Var& b) {
+  NOVA_EXPECTS(a->value.numel() == b->value.numel());
+  Tensor out = a->value;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    out.flat()[i] += b->value.flat()[i];
+  }
+  return make_node(std::move(out), {a, b}, [](Node& n) {
+    for (const auto& p : n.parents) {
+      if (!p->requires_grad) continue;
+      p->ensure_grad();
+      for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+        p->grad.flat()[i] += n.grad.flat()[i];
+      }
+    }
+  });
+}
+
+Var add_rowvec_op(const Var& a, const Var& b) {
+  NOVA_EXPECTS(a->value.rank() == 2);
+  const int m = a->value.dim(0), ncols = a->value.dim(1);
+  NOVA_EXPECTS(static_cast<int>(b->value.numel()) == ncols);
+  Tensor out = a->value;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < ncols; ++j) {
+      out.flat()[static_cast<std::size_t>(i) * ncols + j] +=
+          b->value.flat()[static_cast<std::size_t>(j)];
+    }
+  }
+  return make_node(std::move(out), {a, b}, [m, ncols](Node& n) {
+    const Var& a = n.parents[0];
+    const Var& b = n.parents[1];
+    if (a->requires_grad) {
+      a->ensure_grad();
+      for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+        a->grad.flat()[i] += n.grad.flat()[i];
+      }
+    }
+    if (b->requires_grad) {
+      b->ensure_grad();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < ncols; ++j) {
+          b->grad.flat()[static_cast<std::size_t>(j)] +=
+              n.grad.flat()[static_cast<std::size_t>(i) * ncols + j];
+        }
+      }
+    }
+  });
+}
+
+Var scale_op(const Var& a, float s) {
+  Tensor out = a->value;
+  for (auto& v : out.flat()) v *= s;
+  return make_node(std::move(out), {a}, [s](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+      a->grad.flat()[i] += s * n.grad.flat()[i];
+    }
+  });
+}
+
+Var relu_op(const Var& a) {
+  Tensor out = a->value;
+  for (auto& v : out.flat()) v = std::max(v, 0.0f);
+  return make_node(std::move(out), {a}, [](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+      if (a->value.flat()[i] > 0.0f) a->grad.flat()[i] += n.grad.flat()[i];
+    }
+  });
+}
+
+Var gelu_op(const Var& a, const Nonlinearity& nl) {
+  Tensor out(a->value.shape());
+  nl.gelu(a->value.flat(), out.flat());
+  return make_node(std::move(out), {a}, [](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+      a->grad.flat()[i] +=
+          gelu_derivative(a->value.flat()[i]) * n.grad.flat()[i];
+    }
+  });
+}
+
+Var softmax_rows_op(const Var& a, const Nonlinearity& nl) {
+  NOVA_EXPECTS(a->value.rank() == 2);
+  const int m = a->value.dim(0), ncols = a->value.dim(1);
+  Tensor out(a->value.shape());
+  for (int i = 0; i < m; ++i) {
+    const auto in_row = a->value.flat().subspan(
+        static_cast<std::size_t>(i) * ncols, static_cast<std::size_t>(ncols));
+    const auto out_row = out.flat().subspan(
+        static_cast<std::size_t>(i) * ncols, static_cast<std::size_t>(ncols));
+    nl.softmax(in_row, out_row);
+  }
+  return make_node(std::move(out), {a}, [m, ncols](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    // dx = s .* (g - <g, s>) per row, using the forward outputs s.
+    for (int i = 0; i < m; ++i) {
+      const auto* s =
+          n.value.flat().data() + static_cast<std::size_t>(i) * ncols;
+      const auto* g =
+          n.grad.flat().data() + static_cast<std::size_t>(i) * ncols;
+      float dot = 0.0f;
+      for (int j = 0; j < ncols; ++j) dot += g[j] * s[j];
+      auto* dst =
+          a->grad.flat().data() + static_cast<std::size_t>(i) * ncols;
+      for (int j = 0; j < ncols; ++j) dst[j] += s[j] * (g[j] - dot);
+    }
+  });
+}
+
+Var layernorm_rows_op(const Var& a, const Var& gain, const Var& bias,
+                      float eps) {
+  NOVA_EXPECTS(a->value.rank() == 2);
+  const int m = a->value.dim(0), ncols = a->value.dim(1);
+  NOVA_EXPECTS(static_cast<int>(gain->value.numel()) == ncols);
+  NOVA_EXPECTS(static_cast<int>(bias->value.numel()) == ncols);
+  Tensor out(a->value.shape());
+  // Cache normalized activations and inverse stddevs for the backward pass.
+  auto xhat = std::make_shared<Tensor>(a->value.shape());
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(m), 0.0f);
+  for (int i = 0; i < m; ++i) {
+    const auto* x =
+        a->value.flat().data() + static_cast<std::size_t>(i) * ncols;
+    float mean = 0.0f;
+    for (int j = 0; j < ncols; ++j) mean += x[j];
+    mean /= static_cast<float>(ncols);
+    float var = 0.0f;
+    for (int j = 0; j < ncols; ++j) var += (x[j] - mean) * (x[j] - mean);
+    var /= static_cast<float>(ncols);
+    const float is = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<std::size_t>(i)] = is;
+    for (int j = 0; j < ncols; ++j) {
+      const float xh = (x[j] - mean) * is;
+      xhat->flat()[static_cast<std::size_t>(i) * ncols + j] = xh;
+      out.flat()[static_cast<std::size_t>(i) * ncols + j] =
+          xh * gain->value.flat()[static_cast<std::size_t>(j)] +
+          bias->value.flat()[static_cast<std::size_t>(j)];
+    }
+  }
+  return make_node(
+      std::move(out), {a, gain, bias}, [m, ncols, xhat, inv_std](Node& n) {
+        const Var& a = n.parents[0];
+        const Var& gain = n.parents[1];
+        const Var& bias = n.parents[2];
+        if (gain->requires_grad) {
+          gain->ensure_grad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < ncols; ++j) {
+              gain->grad.flat()[static_cast<std::size_t>(j)] +=
+                  n.grad.flat()[static_cast<std::size_t>(i) * ncols + j] *
+                  xhat->flat()[static_cast<std::size_t>(i) * ncols + j];
+            }
+          }
+        }
+        if (bias->requires_grad) {
+          bias->ensure_grad();
+          for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < ncols; ++j) {
+              bias->grad.flat()[static_cast<std::size_t>(j)] +=
+                  n.grad.flat()[static_cast<std::size_t>(i) * ncols + j];
+            }
+          }
+        }
+        if (a->requires_grad) {
+          a->ensure_grad();
+          // Standard layernorm input gradient:
+          // dx = is/n * (n*dy' - sum(dy') - xhat * sum(dy' * xhat)),
+          // with dy' = dy * gain.
+          for (int i = 0; i < m; ++i) {
+            const float is = (*inv_std)[static_cast<std::size_t>(i)];
+            float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+            for (int j = 0; j < ncols; ++j) {
+              const float dy =
+                  n.grad.flat()[static_cast<std::size_t>(i) * ncols + j] *
+                  gain->value.flat()[static_cast<std::size_t>(j)];
+              sum_dy += dy;
+              sum_dy_xhat +=
+                  dy * xhat->flat()[static_cast<std::size_t>(i) * ncols + j];
+            }
+            for (int j = 0; j < ncols; ++j) {
+              const float dy =
+                  n.grad.flat()[static_cast<std::size_t>(i) * ncols + j] *
+                  gain->value.flat()[static_cast<std::size_t>(j)];
+              const float xh =
+                  xhat->flat()[static_cast<std::size_t>(i) * ncols + j];
+              a->grad.flat()[static_cast<std::size_t>(i) * ncols + j] +=
+                  is * (dy - sum_dy / ncols - xh * sum_dy_xhat / ncols);
+            }
+          }
+        }
+      });
+}
+
+Var reshape_op(const Var& a, std::vector<int> shape) {
+  Tensor out = a->value.reshaped(std::move(shape));
+  return make_node(std::move(out), {a}, [](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    for (std::size_t i = 0; i < n.grad.numel(); ++i) {
+      a->grad.flat()[i] += n.grad.flat()[i];
+    }
+  });
+}
+
+Var slice_cols_op(const Var& a, int c0, int c1) {
+  NOVA_EXPECTS(a->value.rank() == 2);
+  const int m = a->value.dim(0), ncols = a->value.dim(1);
+  NOVA_EXPECTS(0 <= c0 && c0 < c1 && c1 <= ncols);
+  const int w = c1 - c0;
+  Tensor out({m, w});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < w; ++j) out.at(i, j) = a->value.at(i, c0 + j);
+  }
+  return make_node(std::move(out), {a}, [m, ncols, c0, w](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < w; ++j) {
+        a->grad.flat()[static_cast<std::size_t>(i) * ncols + c0 + j] +=
+            n.grad.flat()[static_cast<std::size_t>(i) * w + j];
+      }
+    }
+  });
+}
+
+Var concat_cols_op(const std::vector<Var>& parts) {
+  NOVA_EXPECTS(!parts.empty());
+  const int m = parts.front()->value.dim(0);
+  int total = 0;
+  for (const auto& p : parts) {
+    NOVA_EXPECTS(p->value.rank() == 2);
+    NOVA_EXPECTS(p->value.dim(0) == m);
+    total += p->value.dim(1);
+  }
+  Tensor out({m, total});
+  int offset = 0;
+  for (const auto& p : parts) {
+    const int w = p->value.dim(1);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < w; ++j) out.at(i, offset + j) = p->value.at(i, j);
+    }
+    offset += w;
+  }
+  return make_node(std::move(out), parts, [m, total](Node& n) {
+    int offset = 0;
+    for (const auto& p : n.parents) {
+      const int w = p->value.dim(1);
+      if (p->requires_grad) {
+        p->ensure_grad();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < w; ++j) {
+            p->grad.flat()[static_cast<std::size_t>(i) * w + j] +=
+                n.grad
+                    .flat()[static_cast<std::size_t>(i) * total + offset + j];
+          }
+        }
+      }
+      offset += w;
+    }
+  });
+}
+
+Var mean_rows_op(const Var& a) {
+  NOVA_EXPECTS(a->value.rank() == 2);
+  const int m = a->value.dim(0), ncols = a->value.dim(1);
+  Tensor out({1, ncols});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < ncols; ++j) {
+      out.flat()[static_cast<std::size_t>(j)] += a->value.at(i, j);
+    }
+  }
+  for (auto& v : out.flat()) v /= static_cast<float>(m);
+  return make_node(std::move(out), {a}, [m, ncols](Node& n) {
+    const Var& a = n.parents[0];
+    if (!a->requires_grad) return;
+    a->ensure_grad();
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < ncols; ++j) {
+        a->grad.flat()[static_cast<std::size_t>(i) * ncols + j] +=
+            n.grad.flat()[static_cast<std::size_t>(j)] /
+            static_cast<float>(m);
+      }
+    }
+  });
+}
+
+namespace {
+
+/// im2col for CHW input: output (C*k*k, OH*OW).
+Tensor im2col(const Tensor& x, const Conv2dSpec& s, int oh, int ow) {
+  const int c = s.in_channels, k = s.kernel;
+  const int h = x.dim(1), w = x.dim(2);
+  Tensor cols({c * k * k, oh * ow});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx) {
+        const int row = (ch * k + ky) * k + kx;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            const int iy = oy * s.stride + ky - s.pad;
+            const int ix = ox * s.stride + kx - s.pad;
+            float v = 0.0f;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+              v = x.flat()[(static_cast<std::size_t>(ch) * h + iy) * w + ix];
+            }
+            cols.at(row, oy * ow + ox) = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+/// Transpose of im2col: scatter-add (C*k*k, OH*OW) gradients back to CHW.
+void col2im_add(const Tensor& cols, const Conv2dSpec& s, int oh, int ow,
+                Tensor& dx) {
+  const int c = s.in_channels, k = s.kernel;
+  const int h = dx.dim(1), w = dx.dim(2);
+  for (int ch = 0; ch < c; ++ch) {
+    for (int ky = 0; ky < k; ++ky) {
+      for (int kx = 0; kx < k; ++kx) {
+        const int row = (ch * k + ky) * k + kx;
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            const int iy = oy * s.stride + ky - s.pad;
+            const int ix = ox * s.stride + kx - s.pad;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+              dx.flat()[(static_cast<std::size_t>(ch) * h + iy) * w + ix] +=
+                  cols.at(row, oy * ow + ox);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Var conv2d_op(const Var& x, const Var& w, const Var& b,
+              const Conv2dSpec& spec) {
+  NOVA_EXPECTS(x->value.rank() == 3);
+  NOVA_EXPECTS(x->value.dim(0) == spec.in_channels);
+  const int h = x->value.dim(1), wid = x->value.dim(2);
+  const int oh = (h + 2 * spec.pad - spec.kernel) / spec.stride + 1;
+  const int ow = (wid + 2 * spec.pad - spec.kernel) / spec.stride + 1;
+  NOVA_EXPECTS(oh > 0 && ow > 0);
+  NOVA_EXPECTS(w->value.dim(0) == spec.out_channels);
+  NOVA_EXPECTS(w->value.dim(1) ==
+               spec.in_channels * spec.kernel * spec.kernel);
+
+  auto cols = std::make_shared<Tensor>(im2col(x->value, spec, oh, ow));
+  Tensor out2d = matmul(w->value, *cols);  // (OC, OH*OW)
+  for (int oc = 0; oc < spec.out_channels; ++oc) {
+    for (int p = 0; p < oh * ow; ++p) {
+      out2d.at(oc, p) += b->value.flat()[static_cast<std::size_t>(oc)];
+    }
+  }
+  Tensor out = out2d.reshaped({spec.out_channels, oh, ow});
+  return make_node(
+      std::move(out), {x, w, b}, [spec, oh, ow, cols](Node& n) {
+        const Var& x = n.parents[0];
+        const Var& w = n.parents[1];
+        const Var& b = n.parents[2];
+        const Tensor dout =
+            n.grad.reshaped({spec.out_channels, oh * ow});
+        if (b->requires_grad) {
+          b->ensure_grad();
+          for (int oc = 0; oc < spec.out_channels; ++oc) {
+            for (int p = 0; p < oh * ow; ++p) {
+              b->grad.flat()[static_cast<std::size_t>(oc)] += dout.at(oc, p);
+            }
+          }
+        }
+        if (w->requires_grad) {
+          w->ensure_grad();
+          const Tensor dw = matmul_nt(dout, *cols);  // dOut * cols^T
+          for (std::size_t i = 0; i < dw.numel(); ++i) {
+            w->grad.flat()[i] += dw.flat()[i];
+          }
+        }
+        if (x->requires_grad) {
+          x->ensure_grad();
+          const Tensor dcols = matmul_tn(w->value, dout);  // W^T * dOut
+          col2im_add(dcols, spec, oh, ow, x->grad);
+        }
+      });
+}
+
+Var depthwise_conv2d_op(const Var& x, const Var& w, const Var& b, int kernel,
+                        int stride, int pad) {
+  NOVA_EXPECTS(x->value.rank() == 3);
+  const int c = x->value.dim(0), h = x->value.dim(1), wid = x->value.dim(2);
+  NOVA_EXPECTS(w->value.dim(0) == c && w->value.dim(1) == kernel * kernel);
+  const int oh = (h + 2 * pad - kernel) / stride + 1;
+  const int ow = (wid + 2 * pad - kernel) / stride + 1;
+  NOVA_EXPECTS(oh > 0 && ow > 0);
+  Tensor out({c, oh, ow});
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = b->value.flat()[static_cast<std::size_t>(ch)];
+        for (int ky = 0; ky < kernel; ++ky) {
+          for (int kx = 0; kx < kernel; ++kx) {
+            const int iy = oy * stride + ky - pad;
+            const int ix = ox * stride + kx - pad;
+            if (iy >= 0 && iy < h && ix >= 0 && ix < wid) {
+              acc += w->value.at(ch, ky * kernel + kx) *
+                     x->value
+                         .flat()[(static_cast<std::size_t>(ch) * h + iy) *
+                                     wid +
+                                 ix];
+            }
+          }
+        }
+        out.flat()[(static_cast<std::size_t>(ch) * oh + oy) * ow + ox] = acc;
+      }
+    }
+  }
+  return make_node(
+      std::move(out), {x, w, b},
+      [c, h, wid, oh, ow, kernel, stride, pad](Node& n) {
+        const Var& x = n.parents[0];
+        const Var& w = n.parents[1];
+        const Var& b = n.parents[2];
+        if (b->requires_grad) b->ensure_grad();
+        if (w->requires_grad) w->ensure_grad();
+        if (x->requires_grad) x->ensure_grad();
+        for (int ch = 0; ch < c; ++ch) {
+          for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+              const float g =
+                  n.grad.flat()[(static_cast<std::size_t>(ch) * oh + oy) *
+                                    ow +
+                                ox];
+              if (b->requires_grad) {
+                b->grad.flat()[static_cast<std::size_t>(ch)] += g;
+              }
+              for (int ky = 0; ky < kernel; ++ky) {
+                for (int kx = 0; kx < kernel; ++kx) {
+                  const int iy = oy * stride + ky - pad;
+                  const int ix = ox * stride + kx - pad;
+                  if (iy < 0 || iy >= h || ix < 0 || ix >= wid) continue;
+                  const std::size_t xi =
+                      (static_cast<std::size_t>(ch) * h + iy) * wid + ix;
+                  if (w->requires_grad) {
+                    w->grad.at(ch, ky * kernel + kx) +=
+                        g * x->value.flat()[xi];
+                  }
+                  if (x->requires_grad) {
+                    x->grad.flat()[xi] += g * w->value.at(ch, ky * kernel + kx);
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Var maxpool2_op(const Var& x) {
+  NOVA_EXPECTS(x->value.rank() == 3);
+  const int c = x->value.dim(0), h = x->value.dim(1), w = x->value.dim(2);
+  const int oh = h / 2, ow = w / 2;
+  NOVA_EXPECTS(oh > 0 && ow > 0);
+  Tensor out({c, oh, ow});
+  auto argmax = std::make_shared<std::vector<std::size_t>>(
+      static_cast<std::size_t>(c) * oh * ow);
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float best = -1e30f;
+        std::size_t best_idx = 0;
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t idx =
+                (static_cast<std::size_t>(ch) * h + oy * 2 + dy) * w +
+                ox * 2 + dx;
+            if (x->value.flat()[idx] > best) {
+              best = x->value.flat()[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t o =
+            (static_cast<std::size_t>(ch) * oh + oy) * ow + ox;
+        out.flat()[o] = best;
+        (*argmax)[o] = best_idx;
+      }
+    }
+  }
+  return make_node(std::move(out), {x}, [argmax](Node& n) {
+    const Var& x = n.parents[0];
+    if (!x->requires_grad) return;
+    x->ensure_grad();
+    for (std::size_t o = 0; o < n.grad.numel(); ++o) {
+      x->grad.flat()[(*argmax)[o]] += n.grad.flat()[o];
+    }
+  });
+}
+
+Var embedding_op(const Var& table, std::vector<int> ids) {
+  NOVA_EXPECTS(table->value.rank() == 2);
+  const int vocab = table->value.dim(0), d = table->value.dim(1);
+  Tensor out({static_cast<int>(ids.size()), d});
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    NOVA_EXPECTS(ids[s] >= 0 && ids[s] < vocab);
+    for (int j = 0; j < d; ++j) {
+      out.at(static_cast<int>(s), j) = table->value.at(ids[s], j);
+    }
+  }
+  return make_node(std::move(out), {table},
+                   [ids = std::move(ids), d](Node& n) {
+                     const Var& table = n.parents[0];
+                     if (!table->requires_grad) return;
+                     table->ensure_grad();
+                     for (std::size_t s = 0; s < ids.size(); ++s) {
+                       for (int j = 0; j < d; ++j) {
+                         table->grad.at(ids[s], j) +=
+                             n.grad.at(static_cast<int>(s), j);
+                       }
+                     }
+                   });
+}
+
+Var cross_entropy_op(const Var& logits, std::vector<int> labels) {
+  NOVA_EXPECTS(logits->value.rank() == 2);
+  const int m = logits->value.dim(0), classes = logits->value.dim(1);
+  NOVA_EXPECTS(static_cast<int>(labels.size()) == m);
+  // Exact, numerically-stable softmax probabilities cached for backward.
+  auto probs = std::make_shared<Tensor>(logits->value.shape());
+  double loss = 0.0;
+  for (int i = 0; i < m; ++i) {
+    const auto* row =
+        logits->value.flat().data() + static_cast<std::size_t>(i) * classes;
+    float mx = row[0];
+    for (int j = 1; j < classes; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int j = 0; j < classes; ++j) {
+      const double e = std::exp(static_cast<double>(row[j]) - mx);
+      probs->flat()[static_cast<std::size_t>(i) * classes + j] =
+          static_cast<float>(e);
+      sum += e;
+    }
+    for (int j = 0; j < classes; ++j) {
+      probs->flat()[static_cast<std::size_t>(i) * classes + j] /=
+          static_cast<float>(sum);
+    }
+    NOVA_EXPECTS(labels[static_cast<std::size_t>(i)] >= 0 &&
+                 labels[static_cast<std::size_t>(i)] < classes);
+    const double p = std::max(
+        1e-12, static_cast<double>(
+                   probs->flat()[static_cast<std::size_t>(i) * classes +
+                                 labels[static_cast<std::size_t>(i)]]));
+    loss -= std::log(p);
+  }
+  Tensor out({1, 1});
+  out.flat()[0] = static_cast<float>(loss / m);
+  return make_node(std::move(out), {logits},
+                   [labels = std::move(labels), m, classes, probs](Node& n) {
+                     const Var& logits = n.parents[0];
+                     if (!logits->requires_grad) return;
+                     logits->ensure_grad();
+                     const float g = n.grad.flat()[0] / static_cast<float>(m);
+                     for (int i = 0; i < m; ++i) {
+                       for (int j = 0; j < classes; ++j) {
+                         float p = probs->flat()[static_cast<std::size_t>(i) *
+                                                     classes +
+                                                 j];
+                         if (j == labels[static_cast<std::size_t>(i)]) {
+                           p -= 1.0f;
+                         }
+                         logits->grad.flat()[static_cast<std::size_t>(i) *
+                                                 classes +
+                                             j] += g * p;
+                       }
+                     }
+                   });
+}
+
+void backward(const Var& loss) {
+  NOVA_EXPECTS(loss != nullptr);
+  NOVA_EXPECTS(loss->value.numel() == 1);
+  // Topological order by iterative DFS over parents.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  stack.emplace_back(loss.get(), 0);
+  visited.insert(loss.get());
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      Node* parent = node->parents[next].get();
+      ++next;
+      if (parent->requires_grad && !visited.contains(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  loss->ensure_grad();
+  loss->grad.flat()[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backprop) {
+      node->ensure_grad();
+      node->backprop(*node);
+    }
+  }
+}
+
+}  // namespace nova::nn

@@ -1,0 +1,105 @@
+// Minimal reverse-mode autograd over Tensor, sized for the paper's Table I
+// study: dense/conv/attention classifiers trained from scratch in seconds.
+//
+// Design: a Var is a shared pointer to a graph Node holding the forward
+// value, the gradient accumulator, parent links, and a backprop closure that
+// scatters this node's gradient into its parents. backward() runs a
+// topological sweep. Ops are free functions so model code reads like math.
+//
+// The softmax/GeLU forward paths consult a Nonlinearity profile, which is
+// how inference-time PWL approximation (the NOVA datapath) is injected; the
+// backward formulas always use the exact derivatives (training is exact,
+// per the paper: "without any retraining").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/nonlinearity.hpp"
+#include "nn/tensor.hpp"
+
+namespace nova::nn {
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+/// One vertex of the dynamically built computation graph.
+class Node {
+ public:
+  Tensor value;
+  Tensor grad;  ///< allocated lazily by ensure_grad()
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  /// Scatters this->grad into parents' grads. Empty for leaves.
+  std::function<void(Node&)> backprop;
+
+  void ensure_grad() {
+    if (grad.numel() != value.numel()) grad = Tensor::zeros(value.shape());
+  }
+};
+
+/// Leaf that participates in optimization.
+[[nodiscard]] Var make_param(Tensor value);
+/// Leaf with no gradient (inputs, labels as data).
+[[nodiscard]] Var make_input(Tensor value);
+
+// --- Linear algebra ---------------------------------------------------------
+[[nodiscard]] Var matmul_op(const Var& a, const Var& b);
+/// a(m,k) * b(n,k)^T -> (m,n); the attention Q*K^T shape.
+[[nodiscard]] Var matmul_nt_op(const Var& a, const Var& b);
+/// Elementwise sum of equal shapes.
+[[nodiscard]] Var add_op(const Var& a, const Var& b);
+/// a(m,n) + row vector b(n) broadcast to every row.
+[[nodiscard]] Var add_rowvec_op(const Var& a, const Var& b);
+[[nodiscard]] Var scale_op(const Var& a, float s);
+
+// --- Nonlinear ops ----------------------------------------------------------
+[[nodiscard]] Var relu_op(const Var& a);
+[[nodiscard]] Var gelu_op(const Var& a, const Nonlinearity& nl);
+/// Row-wise softmax of a (m,n) matrix.
+[[nodiscard]] Var softmax_rows_op(const Var& a, const Nonlinearity& nl);
+/// Row-wise layer normalization with learnable gain/bias vectors (n).
+[[nodiscard]] Var layernorm_rows_op(const Var& a, const Var& gain,
+                                    const Var& bias, float eps = 1e-5f);
+
+// --- Shape ops --------------------------------------------------------------
+[[nodiscard]] Var reshape_op(const Var& a, std::vector<int> shape);
+/// Column slice [c0, c1) of a (m,n) matrix; used for attention heads.
+[[nodiscard]] Var slice_cols_op(const Var& a, int c0, int c1);
+/// Concatenation of equal-row matrices along columns.
+[[nodiscard]] Var concat_cols_op(const std::vector<Var>& parts);
+/// Mean over rows: (m,n) -> (1,n); used for sequence pooling.
+[[nodiscard]] Var mean_rows_op(const Var& a);
+
+// --- Convolutional ops (single sample, CHW layout) --------------------------
+struct Conv2dSpec {
+  int in_channels = 1;
+  int out_channels = 1;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+};
+/// x (C,H,W), w (OC, C*k*k), b (OC) -> (OC, OH, OW).
+[[nodiscard]] Var conv2d_op(const Var& x, const Var& w, const Var& b,
+                            const Conv2dSpec& spec);
+/// Depthwise 3x3-style conv: x (C,H,W), w (C, k*k), b (C) -> (C, OH, OW).
+[[nodiscard]] Var depthwise_conv2d_op(const Var& x, const Var& w,
+                                      const Var& b, int kernel, int stride,
+                                      int pad);
+/// 2x2 max pooling with stride 2 on (C,H,W).
+[[nodiscard]] Var maxpool2_op(const Var& x);
+
+// --- Embedding and loss -----------------------------------------------------
+/// table (V,D) gathered by token ids -> (S,D).
+[[nodiscard]] Var embedding_op(const Var& table, std::vector<int> ids);
+/// Mean cross-entropy of logits (m,classes) against integer labels; the
+/// softmax inside the loss is always exact (it exists only at training
+/// time). Returns a (1,1) scalar.
+[[nodiscard]] Var cross_entropy_op(const Var& logits,
+                                   std::vector<int> labels);
+
+/// Reverse-mode sweep from `loss` (must be scalar-shaped).
+void backward(const Var& loss);
+
+}  // namespace nova::nn

@@ -1,0 +1,265 @@
+#include "nn/datasets.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace nova::nn {
+
+namespace {
+
+/// 8x8 stroke prototypes for the ten digits ('#' = ink). Rendered onto the
+/// 12x12 canvas with jitter so the task is non-trivial but learnable.
+constexpr std::array<const char*, 10> kDigitGlyphs = {
+    // 0
+    ".####..."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    ".####...",
+    // 1
+    "...#...."
+    "..##...."
+    ".#.#...."
+    "...#...."
+    "...#...."
+    "...#...."
+    "...#...."
+    ".#####..",
+    // 2
+    ".####..."
+    "#....#.."
+    ".....#.."
+    "....#..."
+    "...#...."
+    "..#....."
+    ".#......"
+    "######..",
+    // 3
+    ".####..."
+    "#....#.."
+    ".....#.."
+    "..###..."
+    ".....#.."
+    ".....#.."
+    "#....#.."
+    ".####...",
+    // 4
+    "....##.."
+    "...#.#.."
+    "..#..#.."
+    ".#...#.."
+    "#....#.."
+    "######.."
+    ".....#.."
+    ".....#..",
+    // 5
+    "######.."
+    "#......."
+    "#......."
+    "#####..."
+    ".....#.."
+    ".....#.."
+    "#....#.."
+    ".####...",
+    // 6
+    "..###..."
+    ".#......"
+    "#......."
+    "#####..."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    ".####...",
+    // 7
+    "######.."
+    ".....#.."
+    "....#..."
+    "....#..."
+    "...#...."
+    "...#...."
+    "..#....."
+    "..#.....",
+    // 8
+    ".####..."
+    "#....#.."
+    "#....#.."
+    ".####..."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    ".####...",
+    // 9
+    ".####..."
+    "#....#.."
+    "#....#.."
+    "#....#.."
+    ".#####.."
+    ".....#.."
+    "....#..."
+    ".###....",
+};
+
+ImageSample render_digit(int digit, Rng& rng) {
+  constexpr int kCanvas = 12;
+  ImageSample sample;
+  sample.label = digit;
+  sample.image = Tensor::zeros({1, kCanvas, kCanvas});
+  const int dx = static_cast<int>(rng.next_below(4));  // 0..3 translation
+  const int dy = static_cast<int>(rng.next_below(4));
+  const char* glyph = kDigitGlyphs[static_cast<std::size_t>(digit)];
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      if (glyph[y * 8 + x] != '#') continue;
+      if (rng.next_double() < 0.08) continue;  // stroke dropout
+      const int cy = y + dy, cx = x + dx;
+      if (cy < kCanvas && cx < kCanvas) {
+        sample.image.flat()[static_cast<std::size_t>(cy) * kCanvas + cx] =
+            static_cast<float>(0.8 + 0.2 * rng.next_double());
+      }
+    }
+  }
+  // Background pixel noise.
+  for (auto& v : sample.image.flat()) {
+    v += static_cast<float>(rng.normal(0.0, 0.08));
+  }
+  return sample;
+}
+
+ImageSample render_texture(int label, int classes, Rng& rng) {
+  constexpr int kCanvas = 12;
+  ImageSample sample;
+  sample.label = label;
+  sample.image = Tensor::zeros({3, kCanvas, kCanvas});
+  // Class determines grating orientation, spatial frequency, and a color
+  // bias; phase is random per sample.
+  const double theta = 3.14159265358979 * label / classes;
+  const double freq = 0.6 + 0.25 * (label % 3);
+  const double phase = rng.uniform(0.0, 6.283);
+  const double cx = std::cos(theta), sy = std::sin(theta);
+  for (int c = 0; c < 3; ++c) {
+    const double color_gain =
+        0.6 + 0.4 * std::cos(2.094 * c + 6.283 * label / classes);
+    for (int y = 0; y < kCanvas; ++y) {
+      for (int x = 0; x < kCanvas; ++x) {
+        const double wave =
+            std::sin(freq * (cx * x + sy * y) + phase) * color_gain;
+        sample.image
+            .flat()[(static_cast<std::size_t>(c) * kCanvas + y) * kCanvas +
+                    x] =
+            static_cast<float>(wave + rng.normal(0.0, 0.25));
+      }
+    }
+  }
+  return sample;
+}
+
+// Token id layout for the sentiment stand-in corpus.
+constexpr int kNeutralTokens = 20;   // ids [0, 20)
+constexpr int kPositiveTokens = 5;   // ids [20, 25)
+constexpr int kNegativeTokens = 5;   // ids [25, 30)
+constexpr int kNegationToken = 30;   // flips polarity of the next token
+constexpr int kVocab = 31;
+
+SeqSample render_sequence(int seq_len, Rng& rng) {
+  SeqSample sample;
+  sample.tokens.resize(static_cast<std::size_t>(seq_len));
+  int net = 0;
+  bool negated = false;
+  for (int i = 0; i < seq_len; ++i) {
+    const double roll = rng.next_double();
+    int token = 0;
+    if (roll < 0.12) {
+      token = kNegationToken;
+    } else if (roll < 0.38) {
+      token =
+          kNeutralTokens + static_cast<int>(rng.next_below(kPositiveTokens));
+    } else if (roll < 0.64) {
+      token = kNeutralTokens + kPositiveTokens +
+              static_cast<int>(rng.next_below(kNegativeTokens));
+    } else {
+      token = static_cast<int>(rng.next_below(kNeutralTokens));
+    }
+    sample.tokens[static_cast<std::size_t>(i)] = token;
+    // Score with negation semantics: a negation token flips the polarity of
+    // the sentiment word that follows it.
+    if (token >= kNeutralTokens && token < kNeutralTokens + kPositiveTokens) {
+      net += negated ? -1 : 1;
+      negated = false;
+    } else if (token >= kNeutralTokens + kPositiveTokens &&
+               token < kNeutralTokens + kPositiveTokens + kNegativeTokens) {
+      net += negated ? 1 : -1;
+      negated = false;
+    } else if (token == kNegationToken) {
+      negated = true;
+    } else {
+      negated = false;
+    }
+  }
+  sample.label = net > 0 ? 1 : 0;
+  return sample;
+}
+
+}  // namespace
+
+ImageDataset make_synthetic_digits(int n_train, int n_test,
+                                   std::uint64_t seed) {
+  NOVA_EXPECTS(n_train > 0 && n_test > 0);
+  Rng rng(seed);
+  ImageDataset ds;
+  ds.name = "synthetic-digits (MNIST stand-in)";
+  ds.channels = 1;
+  ds.height = ds.width = 12;
+  ds.classes = 10;
+  ds.train.reserve(static_cast<std::size_t>(n_train));
+  ds.test.reserve(static_cast<std::size_t>(n_test));
+  for (int i = 0; i < n_train; ++i) {
+    ds.train.push_back(render_digit(i % 10, rng));
+  }
+  for (int i = 0; i < n_test; ++i) {
+    ds.test.push_back(render_digit(i % 10, rng));
+  }
+  return ds;
+}
+
+ImageDataset make_texture_patches(int n_train, int n_test, int classes,
+                                  std::uint64_t seed) {
+  NOVA_EXPECTS(n_train > 0 && n_test > 0 && classes >= 2);
+  Rng rng(seed);
+  ImageDataset ds;
+  ds.name = "texture-patches (CIFAR-10 stand-in)";
+  ds.channels = 3;
+  ds.height = ds.width = 12;
+  ds.classes = classes;
+  for (int i = 0; i < n_train; ++i) {
+    ds.train.push_back(render_texture(i % classes, classes, rng));
+  }
+  for (int i = 0; i < n_test; ++i) {
+    ds.test.push_back(render_texture(i % classes, classes, rng));
+  }
+  return ds;
+}
+
+SeqDataset make_token_sequences(int n_train, int n_test, int seq_len,
+                                std::uint64_t seed) {
+  NOVA_EXPECTS(n_train > 0 && n_test > 0 && seq_len >= 4);
+  Rng rng(seed);
+  SeqDataset ds;
+  ds.name = "negated-sentiment sequences (SST-2 stand-in)";
+  ds.vocab = kVocab;
+  ds.max_len = seq_len;
+  ds.classes = 2;
+  for (int i = 0; i < n_train; ++i) {
+    ds.train.push_back(render_sequence(seq_len, rng));
+  }
+  for (int i = 0; i < n_test; ++i) {
+    ds.test.push_back(render_sequence(seq_len, rng));
+  }
+  return ds;
+}
+
+}  // namespace nova::nn

@@ -1,0 +1,145 @@
+#include "nn/models.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::nn {
+
+namespace {
+
+class MlpModel final : public ImageModel {
+ public:
+  MlpModel(int channels, int height, int width, int classes, Rng& rng)
+      : in_(channels * height * width),
+        fc1_(params_, in_, 64, rng),
+        fc2_(params_, 64, classes, rng) {}
+
+  Var forward(const Tensor& image, const Nonlinearity&) const override {
+    const Var x = make_input(image.reshaped({1, in_}));
+    return fc2_.forward(relu_op(fc1_.forward(x)));
+  }
+  ParamSet& params() override { return params_; }
+  std::string name() const override { return "MLP"; }
+
+ private:
+  int in_;
+  ParamSet params_;
+  Dense fc1_, fc2_;
+};
+
+class CnnModel final : public ImageModel {
+ public:
+  CnnModel(int channels, int height, int width, int classes, Rng& rng)
+      : conv1_(params_, Conv2dSpec{channels, 8, 3, 1, 1}, rng),
+        conv2_(params_, Conv2dSpec{8, 16, 3, 1, 1}, rng),
+        flat_dim_(16 * (height / 4) * (width / 4)),
+        fc_(params_, flat_dim_, classes, rng) {}
+
+  Var forward(const Tensor& image, const Nonlinearity&) const override {
+    Var x = make_input(image);
+    x = maxpool2_op(relu_op(conv1_.forward(x)));
+    x = maxpool2_op(relu_op(conv2_.forward(x)));
+    x = reshape_op(x, {1, flat_dim_});
+    return fc_.forward(x);
+  }
+  ParamSet& params() override { return params_; }
+  std::string name() const override { return "CNN"; }
+
+ private:
+  ParamSet params_;
+  Conv2d conv1_, conv2_;
+  int flat_dim_;
+  Dense fc_;
+};
+
+class MobileNetStyleModel final : public ImageModel {
+ public:
+  MobileNetStyleModel(int channels, int height, int width, int classes,
+                      Rng& rng)
+      : stem_(params_, Conv2dSpec{channels, 8, 3, 1, 1}, rng),
+        sep1_(params_, 8, 16, rng),
+        sep2_(params_, 16, 32, rng),
+        flat_dim_(32 * (height / 4) * (width / 4)),
+        fc_(params_, flat_dim_, classes, rng) {}
+
+  Var forward(const Tensor& image, const Nonlinearity&) const override {
+    Var x = make_input(image);
+    x = relu_op(stem_.forward(x));
+    x = maxpool2_op(relu_op(sep1_.forward(x)));
+    x = maxpool2_op(relu_op(sep2_.forward(x)));
+    x = reshape_op(x, {1, flat_dim_});
+    return fc_.forward(x);
+  }
+  ParamSet& params() override { return params_; }
+  std::string name() const override { return "MobileNet-style"; }
+
+ private:
+  ParamSet params_;
+  Conv2d stem_;
+  SeparableConv2d sep1_, sep2_;
+  int flat_dim_;
+  Dense fc_;
+};
+
+class VggStyleModel final : public ImageModel {
+ public:
+  VggStyleModel(int channels, int height, int width, int classes, Rng& rng)
+      : conv1a_(params_, Conv2dSpec{channels, 8, 3, 1, 1}, rng),
+        conv1b_(params_, Conv2dSpec{8, 8, 3, 1, 1}, rng),
+        conv2a_(params_, Conv2dSpec{8, 16, 3, 1, 1}, rng),
+        conv2b_(params_, Conv2dSpec{16, 16, 3, 1, 1}, rng),
+        flat_dim_(16 * (height / 4) * (width / 4)),
+        fc1_(params_, flat_dim_, 32, rng),
+        fc2_(params_, 32, classes, rng) {}
+
+  Var forward(const Tensor& image, const Nonlinearity&) const override {
+    Var x = make_input(image);
+    x = relu_op(conv1a_.forward(x));
+    x = maxpool2_op(relu_op(conv1b_.forward(x)));
+    x = relu_op(conv2a_.forward(x));
+    x = maxpool2_op(relu_op(conv2b_.forward(x)));
+    x = reshape_op(x, {1, flat_dim_});
+    return fc2_.forward(relu_op(fc1_.forward(x)));
+  }
+  ParamSet& params() override { return params_; }
+  std::string name() const override { return "VGG-style"; }
+
+ private:
+  ParamSet params_;
+  Conv2d conv1a_, conv1b_, conv2a_, conv2b_;
+  int flat_dim_;
+  Dense fc1_, fc2_;
+};
+
+}  // namespace
+
+std::unique_ptr<ImageModel> make_mlp_model(int channels, int height,
+                                           int width, int classes,
+                                           Rng& rng) {
+  return std::make_unique<MlpModel>(channels, height, width, classes, rng);
+}
+
+std::unique_ptr<ImageModel> make_cnn_model(int channels, int height,
+                                           int width, int classes,
+                                           Rng& rng) {
+  NOVA_EXPECTS(height % 4 == 0 && width % 4 == 0);
+  return std::make_unique<CnnModel>(channels, height, width, classes, rng);
+}
+
+std::unique_ptr<ImageModel> make_mobilenet_style_model(int channels,
+                                                       int height, int width,
+                                                       int classes,
+                                                       Rng& rng) {
+  NOVA_EXPECTS(height % 4 == 0 && width % 4 == 0);
+  return std::make_unique<MobileNetStyleModel>(channels, height, width,
+                                               classes, rng);
+}
+
+std::unique_ptr<ImageModel> make_vgg_style_model(int channels, int height,
+                                                 int width, int classes,
+                                                 Rng& rng) {
+  NOVA_EXPECTS(height % 4 == 0 && width % 4 == 0);
+  return std::make_unique<VggStyleModel>(channels, height, width, classes,
+                                         rng);
+}
+
+}  // namespace nova::nn

@@ -1,0 +1,42 @@
+// The model zoo for the Table I accuracy study: an MLP, a small CNN, a
+// MobileNet-v1-style separable CNN, and a VGG-style deeper CNN, all over
+// CHW image samples, plus factories matching each Table I row.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/layers.hpp"
+
+namespace nova::nn {
+
+/// Interface of an image classifier: builds the logits graph for one CHW
+/// sample. Forward receives the Nonlinearity profile so inference can run
+/// with exact or PWL (NOVA-approximated) non-linear ops.
+class ImageModel {
+ public:
+  virtual ~ImageModel() = default;
+  /// Logits of shape (1, classes).
+  [[nodiscard]] virtual Var forward(const Tensor& image,
+                                    const Nonlinearity& nl) const = 0;
+  [[nodiscard]] virtual ParamSet& params() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Flatten -> Dense -> ReLU -> Dense. (Table I "MLP (MNIST)".)
+[[nodiscard]] std::unique_ptr<ImageModel> make_mlp_model(
+    int channels, int height, int width, int classes, Rng& rng);
+
+/// Conv-ReLU-Pool x2 -> Dense. (Table I "CNN (CIFAR-10)".)
+[[nodiscard]] std::unique_ptr<ImageModel> make_cnn_model(
+    int channels, int height, int width, int classes, Rng& rng);
+
+/// Conv stem + two depthwise-separable blocks. (Table I "MobileNet v1".)
+[[nodiscard]] std::unique_ptr<ImageModel> make_mobilenet_style_model(
+    int channels, int height, int width, int classes, Rng& rng);
+
+/// Two double-conv VGG blocks + two-layer head. (Table I "VGG-16"-style.)
+[[nodiscard]] std::unique_ptr<ImageModel> make_vgg_style_model(
+    int channels, int height, int width, int classes, Rng& rng);
+
+}  // namespace nova::nn

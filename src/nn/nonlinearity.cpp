@@ -1,0 +1,30 @@
+#include "nn/nonlinearity.hpp"
+
+#include "approx/softmax.hpp"
+
+namespace nova::nn {
+
+Nonlinearity Nonlinearity::exact() {
+  Nonlinearity nl;
+  nl.softmax = [](std::span<const float> in, std::span<float> out) {
+    approx::softmax_exact(in, out);
+  };
+  nl.gelu = [](std::span<const float> in, std::span<float> out) {
+    approx::gelu_exact(in, out);
+  };
+  return nl;
+}
+
+Nonlinearity Nonlinearity::pwl(int breakpoints) {
+  Nonlinearity nl;
+  nl.softmax = [breakpoints](std::span<const float> in,
+                             std::span<float> out) {
+    approx::softmax_pwl(in, out, breakpoints);
+  };
+  nl.gelu = [breakpoints](std::span<const float> in, std::span<float> out) {
+    approx::gelu_pwl(in, out, breakpoints);
+  };
+  return nl;
+}
+
+}  // namespace nova::nn

@@ -1,0 +1,28 @@
+// The swap point for the Table I accuracy study: models are trained with
+// exact non-linearities and evaluated either exactly or with the PWL
+// (NN-LUT / NOVA) approximations, without retraining.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace nova::nn {
+
+/// Forward-path implementations of the non-linear vector operations. The
+/// engine's softmax/GeLU ops consult this profile; training always uses the
+/// exact profile (the paper trains models normally and only approximates at
+/// inference).
+struct Nonlinearity {
+  using VecFn = std::function<void(std::span<const float>, std::span<float>)>;
+
+  VecFn softmax;  ///< row-wise softmax
+  VecFn gelu;     ///< elementwise GeLU
+
+  /// Exact double-precision reference ops.
+  [[nodiscard]] static Nonlinearity exact();
+  /// PWL-approximated ops with `breakpoints` segments (MLP-learned tables
+  /// from the shared PwlLibrary).
+  [[nodiscard]] static Nonlinearity pwl(int breakpoints);
+};
+
+}  // namespace nova::nn

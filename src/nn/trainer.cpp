@@ -1,0 +1,149 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace nova::nn {
+
+AdamOptimizer::AdamOptimizer(ParamSet& params, double lr)
+    : params_(params), lr_(lr) {
+  m_.reserve(params.all().size());
+  v_.reserve(params.all().size());
+  for (const auto& p : params.all()) {
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void AdamOptimizer::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
+  const auto& params = params_.all();
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    auto& p = params[k];
+    p->ensure_grad();
+    auto val = p->value.flat();
+    auto grad = p->grad.flat();
+    auto m = m_[k].flat();
+    auto v = v_[k].flat();
+    for (std::size_t i = 0; i < val.size(); ++i) {
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * grad[i]);
+      v[i] = static_cast<float>(beta2_ * v[i] +
+                                (1.0 - beta2_) * grad[i] * grad[i]);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      val[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+  params_.zero_grads();
+}
+
+namespace {
+
+/// Shared mini-batch SGD skeleton: `build_loss(i)` constructs the loss graph
+/// for sample index i. Gradients accumulate across the batch (scaled by
+/// 1/batch via loss scaling) and Adam steps per batch.
+template <typename BuildLoss>
+double run_training(ParamSet& params, std::size_t n_samples,
+                    const TrainOptions& options, BuildLoss&& build_loss) {
+  NOVA_EXPECTS(n_samples > 0);
+  AdamOptimizer opt(params, options.learning_rate);
+  params.zero_grads();
+  Rng shuffle_rng(options.shuffle_seed);
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), 0);
+
+  double last_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = n_samples - 1; i > 0; --i) {
+      const std::size_t j = shuffle_rng.next_below(i + 1);
+      std::swap(order[i], order[j]);
+    }
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (std::size_t idx = 0; idx < n_samples; ++idx) {
+      const Var loss = build_loss(order[idx]);
+      epoch_loss += loss->value.flat()[0];
+      const Var scaled =
+          scale_op(loss, 1.0f / static_cast<float>(options.batch));
+      backward(scaled);
+      if (++in_batch == options.batch || idx + 1 == n_samples) {
+        opt.step();
+        in_batch = 0;
+      }
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(n_samples);
+  }
+  return last_epoch_loss;
+}
+
+int argmax_row(std::span<const float> row) {
+  int best = 0;
+  for (std::size_t j = 1; j < row.size(); ++j) {
+    if (row[j] > row[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double train_image_model(ImageModel& model,
+                         const std::vector<ImageSample>& train,
+                         const TrainOptions& options) {
+  const Nonlinearity exact = Nonlinearity::exact();
+  return run_training(model.params(), train.size(), options,
+                      [&](std::size_t i) {
+                        const auto& sample = train[i];
+                        const Var logits = model.forward(sample.image, exact);
+                        return cross_entropy_op(logits, {sample.label});
+                      });
+}
+
+double eval_image_accuracy(const ImageModel& model,
+                           const std::vector<ImageSample>& test,
+                           const Nonlinearity& nl) {
+  NOVA_EXPECTS(!test.empty());
+  int correct = 0;
+  for (const auto& sample : test) {
+    const Var logits = model.forward(sample.image, nl);
+    std::vector<float> probs(logits->value.numel());
+    nl.softmax(logits->value.flat(), probs);
+    if (argmax_row(probs) == sample.label) ++correct;
+  }
+  return 100.0 * correct / static_cast<double>(test.size());
+}
+
+double train_seq_model(TransformerClassifier& model,
+                       const std::vector<SeqSample>& train,
+                       const TrainOptions& options) {
+  const Nonlinearity exact = Nonlinearity::exact();
+  return run_training(model.params(), train.size(), options,
+                      [&](std::size_t i) {
+                        const auto& sample = train[i];
+                        const Var logits = model.forward(sample.tokens, exact);
+                        return cross_entropy_op(logits, {sample.label});
+                      });
+}
+
+double eval_seq_accuracy(const TransformerClassifier& model,
+                         const std::vector<SeqSample>& test,
+                         const Nonlinearity& nl) {
+  NOVA_EXPECTS(!test.empty());
+  int correct = 0;
+  for (const auto& sample : test) {
+    const Var logits = model.forward(sample.tokens, nl);
+    std::vector<float> probs(logits->value.numel());
+    nl.softmax(logits->value.flat(), probs);
+    if (argmax_row(probs) == sample.label) ++correct;
+  }
+  return 100.0 * correct / static_cast<double>(test.size());
+}
+
+}  // namespace nova::nn

@@ -1,0 +1,59 @@
+// Adam optimizer plus training/evaluation loops for the Table I study.
+// Training always runs with exact non-linearities; evaluation takes a
+// Nonlinearity profile so accuracy can be measured with exact vs PWL
+// (NOVA-approximated) softmax/GeLU on the same trained weights -- the
+// paper's "without any retraining" protocol.
+#pragma once
+
+#include "nn/datasets.hpp"
+#include "nn/models.hpp"
+#include "nn/transformer.hpp"
+
+namespace nova::nn {
+
+struct TrainOptions {
+  int epochs = 6;
+  int batch = 16;
+  double learning_rate = 1e-3;
+  std::uint64_t shuffle_seed = 123;
+};
+
+/// Adam over a ParamSet.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(ParamSet& params, double lr = 1e-3);
+  /// Applies one update from the currently accumulated gradients, then
+  /// clears them.
+  void step();
+
+ private:
+  ParamSet& params_;
+  double lr_;
+  double beta1_ = 0.9, beta2_ = 0.999, eps_ = 1e-8;
+  int t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Trains an image classifier; returns the final-epoch mean training loss.
+double train_image_model(ImageModel& model,
+                         const std::vector<ImageSample>& train,
+                         const TrainOptions& options);
+
+/// Top-1 accuracy (in %) of the model under the given non-linearity
+/// profile: probabilities = nl.softmax(logits), prediction = argmax.
+double eval_image_accuracy(const ImageModel& model,
+                           const std::vector<ImageSample>& test,
+                           const Nonlinearity& nl);
+
+/// Trains the transformer sequence classifier; returns final mean loss.
+double train_seq_model(TransformerClassifier& model,
+                       const std::vector<SeqSample>& train,
+                       const TrainOptions& options);
+
+/// Top-1 accuracy (%) under the profile; attention softmax, FFN GeLU, and
+/// the output softmax all follow the profile.
+double eval_seq_accuracy(const TransformerClassifier& model,
+                         const std::vector<SeqSample>& test,
+                         const Nonlinearity& nl);
+
+}  // namespace nova::nn

@@ -1,0 +1,75 @@
+#include "nn/transformer.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace nova::nn {
+
+EncoderLayer::EncoderLayer(ParamSet& params, const TransformerConfig& cfg,
+                           Rng& rng)
+    : cfg_(cfg),
+      wq_(params, cfg.dim, cfg.dim, rng),
+      wk_(params, cfg.dim, cfg.dim, rng),
+      wv_(params, cfg.dim, cfg.dim, rng),
+      wo_(params, cfg.dim, cfg.dim, rng),
+      ffn1_(params, cfg.dim, cfg.ffn_dim, rng),
+      ffn2_(params, cfg.ffn_dim, cfg.dim, rng),
+      ln1_(params, cfg.dim),
+      ln2_(params, cfg.dim) {
+  NOVA_EXPECTS(cfg.dim % cfg.heads == 0);
+}
+
+Var EncoderLayer::forward(const Var& x, const Nonlinearity& nl) const {
+  const int head_dim = cfg_.dim / cfg_.heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  // Pre-norm attention sublayer.
+  const Var normed = ln1_.forward(x);
+  const Var q = wq_.forward(normed);
+  const Var k = wk_.forward(normed);
+  const Var v = wv_.forward(normed);
+
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(static_cast<std::size_t>(cfg_.heads));
+  for (int h = 0; h < cfg_.heads; ++h) {
+    const int c0 = h * head_dim, c1 = (h + 1) * head_dim;
+    const Var qh = slice_cols_op(q, c0, c1);
+    const Var kh = slice_cols_op(k, c0, c1);
+    const Var vh = slice_cols_op(v, c0, c1);
+    const Var scores = scale_op(matmul_nt_op(qh, kh), scale);  // (S,S)
+    const Var attn = softmax_rows_op(scores, nl);
+    head_outputs.push_back(matmul_op(attn, vh));  // (S, head_dim)
+  }
+  const Var concat = concat_cols_op(head_outputs);
+  const Var attended = add_op(x, wo_.forward(concat));
+
+  // Pre-norm feed-forward sublayer with GeLU.
+  const Var normed2 = ln2_.forward(attended);
+  const Var hidden = gelu_op(ffn1_.forward(normed2), nl);
+  return add_op(attended, ffn2_.forward(hidden));
+}
+
+TransformerClassifier::TransformerClassifier(const TransformerConfig& cfg,
+                                             Rng& rng)
+    : cfg_(cfg) {
+  embedding_ = std::make_unique<Embedding>(params_, cfg.vocab, cfg.dim,
+                                           cfg.max_len, rng);
+  layers_.reserve(static_cast<std::size_t>(cfg.layers));
+  for (int i = 0; i < cfg.layers; ++i) {
+    layers_.emplace_back(params_, cfg, rng);
+  }
+  head_ = std::make_unique<Dense>(params_, cfg.dim, cfg.classes, rng);
+}
+
+Var TransformerClassifier::forward(const std::vector<int>& ids,
+                                   const Nonlinearity& nl) const {
+  NOVA_EXPECTS(!ids.empty());
+  NOVA_EXPECTS(static_cast<int>(ids.size()) <= cfg_.max_len);
+  Var x = embedding_->forward(ids);
+  for (const auto& layer : layers_) x = layer.forward(x, nl);
+  const Var pooled = mean_rows_op(x);  // (1, dim)
+  return head_->forward(pooled);       // (1, classes)
+}
+
+}  // namespace nova::nn

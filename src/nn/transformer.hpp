@@ -1,0 +1,56 @@
+// Transformer encoder block and sequence classifier: the attention-based
+// models of Table I (BERT-family rows). Multi-head scaled-dot-product
+// attention, GeLU feed-forward, pre-norm residuals. The Nonlinearity
+// profile passed to forward() selects exact vs PWL softmax/GeLU, which is
+// exactly the swap NOVA performs at inference.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace nova::nn {
+
+/// Configuration of a small BERT-like encoder classifier.
+struct TransformerConfig {
+  int vocab = 64;
+  int max_len = 32;
+  int dim = 32;        ///< model width (divisible by heads)
+  int heads = 4;
+  int ffn_dim = 64;
+  int layers = 2;
+  int classes = 2;
+};
+
+/// One encoder layer: MHA + GeLU FFN with residuals and layer norm.
+class EncoderLayer {
+ public:
+  EncoderLayer(ParamSet& params, const TransformerConfig& cfg, Rng& rng);
+  [[nodiscard]] Var forward(const Var& x, const Nonlinearity& nl) const;
+
+ private:
+  TransformerConfig cfg_;
+  Dense wq_, wk_, wv_, wo_;
+  Dense ffn1_, ffn2_;
+  LayerNorm ln1_, ln2_;
+};
+
+/// Embedding -> N encoder layers -> mean pool -> classification head.
+class TransformerClassifier {
+ public:
+  TransformerClassifier(const TransformerConfig& cfg, Rng& rng);
+
+  /// Logits (1, classes) for one token sequence.
+  [[nodiscard]] Var forward(const std::vector<int>& ids,
+                            const Nonlinearity& nl) const;
+
+  [[nodiscard]] ParamSet& params() { return params_; }
+  [[nodiscard]] const TransformerConfig& config() const { return cfg_; }
+
+ private:
+  TransformerConfig cfg_;
+  ParamSet params_;
+  std::unique_ptr<Embedding> embedding_;
+  std::vector<EncoderLayer> layers_;
+  std::unique_ptr<Dense> head_;
+};
+
+}  // namespace nova::nn

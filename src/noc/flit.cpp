@@ -1,0 +1,18 @@
+#include "noc/flit.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::noc {
+
+Flit::Flit(int tag, std::vector<SlopeBiasPair> pairs)
+    : tag_(tag), pairs_(std::move(pairs)) {
+  NOVA_EXPECTS(tag >= 0);
+  NOVA_EXPECTS(!pairs_.empty());
+}
+
+const SlopeBiasPair& Flit::pair(int i) const {
+  NOVA_EXPECTS(i >= 0 && i < pair_count());
+  return pairs_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace nova::noc

@@ -1,0 +1,61 @@
+#include "noc/line_noc.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace nova::noc {
+
+LineNoc::LineNoc(const LineNocConfig& config, sim::StatRegistry* stats)
+    : config_(config), stats_(stats) {
+  NOVA_EXPECTS(config.routers >= 1);
+  NOVA_EXPECTS(config.max_hops_per_cycle >= 1);
+}
+
+void LineNoc::inject(Flit flit) { inject_queue_.push_back(std::move(flit)); }
+
+void LineNoc::advance(Wavefront& wave, sim::Cycle now) {
+  // The flit propagates through up to max_hops_per_cycle routers this cycle;
+  // each router on the path observes it (local tag-matching logic snoops the
+  // bypass datapath).
+  const int reach = std::min(wave.frontier + config_.max_hops_per_cycle,
+                             config_.routers);
+  for (int j = wave.frontier; j < reach; ++j) {
+    if (observer_) observer_(j, wave.flit, now);
+    if (stats_ != nullptr) stats_->bump("noc.observations");
+  }
+  if (stats_ != nullptr) {
+    // Wire segments traversed this cycle: injector->r0 counts as one segment
+    // only for the first hop of the line; between routers j-1 and j for the
+    // rest. Segment count equals routers visited this cycle.
+    stats_->bump("noc.segment_traversals",
+                 static_cast<std::uint64_t>(reach - wave.frontier));
+  }
+  wave.frontier = reach;
+  if (wave.frontier < config_.routers && stats_ != nullptr) {
+    // Latches into the input register of the next router to continue on the
+    // following cycle.
+    stats_->bump("noc.register_latches");
+  }
+}
+
+void LineNoc::tick(sim::Cycle now) {
+  // In-flight wavefronts continue first (they occupy downstream segments);
+  // then one queued flit may enter the line.
+  for (auto& wave : in_flight_) advance(wave, now);
+  while (!in_flight_.empty() &&
+         in_flight_.front().frontier >= config_.routers) {
+    in_flight_.pop_front();
+  }
+  if (!inject_queue_.empty()) {
+    Wavefront wave{std::move(inject_queue_.front()), 0};
+    inject_queue_.pop_front();
+    if (stats_ != nullptr) stats_->bump("noc.flits_injected");
+    advance(wave, now);
+    if (wave.frontier < config_.routers) {
+      in_flight_.push_back(std::move(wave));
+    }
+  }
+}
+
+}  // namespace nova::noc

@@ -1,0 +1,62 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace nova::sim {
+
+int Engine::add_domain(std::string name, int multiplier) {
+  NOVA_EXPECTS(multiplier >= 1);
+  domains_.push_back(ClockDomain{std::move(name), multiplier});
+  return static_cast<int>(domains_.size()) - 1;
+}
+
+void Engine::add_component(int domain_id, Ticked& component) {
+  NOVA_EXPECTS(domain_id >= 0 && domain_id < domain_count());
+  slots_.push_back(Slot{domain_id, &component, {}});
+}
+
+void Engine::add_callback(int domain_id, std::function<void(Cycle)> fn) {
+  NOVA_EXPECTS(domain_id >= 0 && domain_id < domain_count());
+  NOVA_EXPECTS(fn != nullptr);
+  slots_.push_back(Slot{domain_id, nullptr, std::move(fn)});
+}
+
+int Engine::fastest_multiplier() const {
+  int fastest = 1;
+  for (const auto& d : domains_) fastest = std::max(fastest, d.multiplier);
+  return fastest;
+}
+
+Cycle Engine::cycles(int domain_id) const {
+  NOVA_EXPECTS(domain_id >= 0 && domain_id < domain_count());
+  const int fastest = fastest_multiplier();
+  const int ratio = fastest / domains_[static_cast<std::size_t>(domain_id)].multiplier;
+  return fast_ticks_ / static_cast<Cycle>(ratio);
+}
+
+void Engine::step() {
+  const int fastest = fastest_multiplier();
+  for (auto& slot : slots_) {
+    const auto& dom = domains_[static_cast<std::size_t>(slot.domain_id)];
+    // A domain with multiplier m fires on every (fastest/m)-th fast tick.
+    // Multipliers are required to divide the fastest multiplier; this is
+    // checked lazily here so domains can be added in any order.
+    NOVA_ASSERT(fastest % dom.multiplier == 0);
+    const Cycle ratio = static_cast<Cycle>(fastest / dom.multiplier);
+    if (fast_ticks_ % ratio != 0) continue;
+    const Cycle domain_now = fast_ticks_ / ratio;
+    if (slot.component != nullptr) {
+      slot.component->tick(domain_now);
+    } else {
+      slot.callback(domain_now);
+    }
+  }
+  ++fast_ticks_;
+}
+
+void Engine::run_base_cycles(Cycle base_cycles) {
+  const Cycle ticks = base_cycles * static_cast<Cycle>(fastest_multiplier());
+  for (Cycle i = 0; i < ticks; ++i) step();
+}
+
+}  // namespace nova::sim

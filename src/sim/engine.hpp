@@ -1,0 +1,90 @@
+// Cycle-driven multi-clock simulation engine.
+//
+// NOVA's NoC runs at an integer multiple of the host accelerator's clock
+// (2x for 16 breakpoints; set by the mapper, Section IV of the paper). The
+// engine therefore models a set of clock domains whose frequencies are
+// integer multiples of a base clock. Simulation advances in ticks of the
+// fastest domain; a component clocked in domain D fires once every
+// (fastest_multiplier / D.multiplier) ticks.
+//
+// Determinism: components fire in registration order within a tick, with all
+// combinational propagation handled inside each component's tick(). This is
+// a two-phase (compute/commit) discipline: components read inputs latched in
+// the previous tick and publish outputs for the next one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace nova::sim {
+
+using Cycle = std::uint64_t;
+
+/// A clock domain at an integer multiple of the engine's base clock.
+struct ClockDomain {
+  std::string name;
+  /// Frequency relative to the base domain (1 = base clock).
+  int multiplier = 1;
+};
+
+/// Anything that owns sequential state clocked by a domain.
+class Ticked {
+ public:
+  virtual ~Ticked() = default;
+  /// Called once per owning-domain cycle. `now` is the domain-local cycle
+  /// count (starts at 0).
+  virtual void tick(Cycle now) = 0;
+};
+
+/// Deterministic multi-rate cycle engine.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a clock domain; returns its id. Multipliers must be >= 1.
+  int add_domain(std::string name, int multiplier);
+
+  /// Registers a component (non-owning) in the given domain. Components fire
+  /// in registration order within each tick.
+  void add_component(int domain_id, Ticked& component);
+
+  /// Convenience: registers a callback instead of a Ticked object.
+  void add_callback(int domain_id, std::function<void(Cycle)> fn);
+
+  /// Runs `base_cycles` cycles of the *base* (multiplier-1) clock.
+  void run_base_cycles(Cycle base_cycles);
+
+  /// Runs a single tick of the fastest clock.
+  void step();
+
+  /// Elapsed cycles of the given domain since construction.
+  [[nodiscard]] Cycle cycles(int domain_id) const;
+
+  /// Elapsed ticks of the fastest clock.
+  [[nodiscard]] Cycle fast_ticks() const { return fast_ticks_; }
+
+  [[nodiscard]] int domain_count() const {
+    return static_cast<int>(domains_.size());
+  }
+
+ private:
+  struct Slot {
+    int domain_id = 0;
+    Ticked* component = nullptr;              // non-owning
+    std::function<void(Cycle)> callback;      // used when component == nullptr
+  };
+
+  [[nodiscard]] int fastest_multiplier() const;
+
+  std::vector<ClockDomain> domains_;
+  std::vector<Slot> slots_;
+  Cycle fast_ticks_ = 0;
+};
+
+}  // namespace nova::sim

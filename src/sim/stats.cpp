@@ -1,0 +1,54 @@
+#include "sim/stats.hpp"
+
+namespace nova::sim {
+
+void StatRegistry::bump(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void StatRegistry::sample(const std::string& name, double value) {
+  auto& acc = accumulators_[name];
+  acc.sum += value;
+  acc.n += 1;
+}
+
+std::uint64_t StatRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double StatRegistry::sum(const std::string& name) const {
+  const auto it = accumulators_.find(name);
+  return it == accumulators_.end() ? 0.0 : it->second.sum;
+}
+
+std::uint64_t StatRegistry::sample_count(const std::string& name) const {
+  const auto it = accumulators_.find(name);
+  return it == accumulators_.end() ? 0 : it->second.n;
+}
+
+double StatRegistry::mean(const std::string& name) const {
+  const auto it = accumulators_.find(name);
+  if (it == accumulators_.end() || it->second.n == 0) return 0.0;
+  return it->second.sum / static_cast<double>(it->second.n);
+}
+
+void StatRegistry::clear() {
+  counters_.clear();
+  accumulators_.clear();
+}
+
+Table StatRegistry::to_table(const std::string& title) const {
+  Table t(title);
+  t.set_header({"stat", "value", "samples"});
+  for (const auto& [name, value] : counters_) {
+    t.add_row({name, std::to_string(value), "-"});
+  }
+  for (const auto& [name, acc] : accumulators_) {
+    t.add_row({name + " (mean)", Table::num(mean(name), 4),
+               std::to_string(acc.n)});
+  }
+  return t;
+}
+
+}  // namespace nova::sim

@@ -1,0 +1,42 @@
+// Named statistic counters shared by the simulators; renders to a Table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace nova::sim {
+
+/// A registry of named counters (monotonic) and accumulators (sum + count,
+/// for means). Lookup by name creates on first use so instrumentation sites
+/// stay one-liners.
+class StatRegistry {
+ public:
+  /// Increments counter `name` by `delta`.
+  void bump(const std::string& name, std::uint64_t delta = 1);
+
+  /// Adds a sample to accumulator `name`.
+  void sample(const std::string& name, double value);
+
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double mean(const std::string& name) const;
+  [[nodiscard]] double sum(const std::string& name) const;
+  [[nodiscard]] std::uint64_t sample_count(const std::string& name) const;
+
+  void clear();
+
+  /// Renders all statistics as a two/three-column table.
+  [[nodiscard]] Table to_table(const std::string& title = "statistics") const;
+
+ private:
+  struct Acc {
+    double sum = 0.0;
+    std::uint64_t n = 0;
+  };
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Acc> accumulators_;
+};
+
+}  // namespace nova::sim

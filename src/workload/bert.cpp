@@ -1,0 +1,82 @@
+#include "workload/bert.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::workload {
+
+BertConfig bert_tiny(int seq_len) {
+  // Turc et al. miniature BERT family: L=2, H=128, A=2, FF=512.
+  return BertConfig{"BERT-tiny", 2, 128, 2, 512, seq_len, 0, 1};
+}
+
+BertConfig bert_mini(int seq_len) {
+  // L=4, H=256, A=4, FF=1024.
+  return BertConfig{"BERT-mini", 4, 256, 4, 1024, seq_len, 0, 1};
+}
+
+BertConfig roberta_base(int seq_len) {
+  // RoBERTa-base: L=12, H=768, A=12, FF=3072.
+  return BertConfig{"RoBERTa", 12, 768, 12, 3072, seq_len, 0, 1};
+}
+
+BertConfig mobilebert_base(int seq_len) {
+  // MobileBERT (Sun et al.): 24 layers, 128-wide inter-block bottleneck,
+  // 512-wide intra-block body, 4 heads, 4 stacked 512-wide FFNs.
+  return BertConfig{"MobileBERT-base", 24, 512, 4, 512, seq_len, 128, 4};
+}
+
+BertConfig mobilebert_tiny(int seq_len) {
+  // The compact MobileBERT variant: narrower 384-wide body, 96-wide
+  // bottleneck, 4 heads, 2 stacked FFNs.
+  return BertConfig{"MobileBERT-tiny", 24, 384, 4, 384, seq_len, 96, 2};
+}
+
+std::vector<BertConfig> paper_benchmarks(int seq_len) {
+  return {mobilebert_base(seq_len), mobilebert_tiny(seq_len),
+          roberta_base(seq_len), bert_tiny(seq_len), bert_mini(seq_len)};
+}
+
+ModelWorkload model_workload(const BertConfig& config) {
+  NOVA_EXPECTS(config.layers >= 1);
+  NOVA_EXPECTS(config.hidden % config.heads == 0);
+  ModelWorkload wl;
+  wl.config = config;
+  const std::int64_t s = config.seq_len;
+  const std::int64_t h = config.hidden;
+  const std::int64_t heads = config.heads;
+  const std::int64_t head_dim = h / heads;
+  const std::int64_t layers = config.layers;
+  const std::int64_t ffn = config.ffn;
+
+  // MobileBERT-style blocks project from the inter-block bottleneck width
+  // into the wider body and back; standard blocks operate at `hidden`.
+  if (config.bottleneck > 0) {
+    const std::int64_t b = config.bottleneck;
+    wl.gemms.push_back({"bottleneck-in", s, b, h, layers});
+    wl.gemms.push_back({"bottleneck-out", s, h, b, layers});
+  }
+
+  // Attention projections (Q, K, V) and the output projection.
+  wl.gemms.push_back({"attn-qkv", s, h, h, 3 * layers});
+  wl.gemms.push_back({"attn-proj", s, h, h, layers});
+  // Score and context GEMMs, per head.
+  wl.gemms.push_back({"attn-scores QK^T", s, head_dim, s, heads * layers});
+  wl.gemms.push_back({"attn-context AV", s, s, head_dim, heads * layers});
+  // Feed-forward stacks with GeLU between the two GEMMs.
+  wl.gemms.push_back(
+      {"ffn-up", s, h, ffn, layers * config.ffn_stacks});
+  wl.gemms.push_back(
+      {"ffn-down", s, ffn, h, layers * config.ffn_stacks});
+
+  // Non-linear totals (per inference):
+  // one softmax row per (layer, head, query position), each over seq_len;
+  wl.nonlinear.softmax_rows = layers * heads * s;
+  wl.nonlinear.softmax_row_len = s;
+  // GeLU after every ffn-up output element;
+  wl.nonlinear.gelu_elements = layers * config.ffn_stacks * s * ffn;
+  // two layer norms per block, one rsqrt per row each.
+  wl.nonlinear.layernorm_rsqrt_ops = 2 * layers * s;
+  return wl;
+}
+
+}  // namespace nova::workload

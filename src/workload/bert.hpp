@@ -1,0 +1,81 @@
+// Shape-level transformer workload models: the five attention benchmarks of
+// the paper's energy evaluation (Section V.F) -- MobileBERT-base,
+// MobileBERT-tiny, RoBERTa, BERT-tiny, BERT-mini -- expressed as the GEMMs
+// and non-linear operations of their encoder stacks. Energy/runtime depend
+// only on these shapes, not on weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova::workload {
+
+/// Transformer encoder configuration. `bottleneck > 0` selects the
+/// MobileBERT-style block: input/output bottleneck projections around the
+/// attention body and `ffn_stacks` stacked feed-forward networks.
+struct BertConfig {
+  std::string name;
+  int layers = 2;
+  int hidden = 128;      ///< width of the attention body (intra-block size)
+  int heads = 2;
+  int ffn = 512;         ///< feed-forward inner width
+  int seq_len = 128;
+  int bottleneck = 0;    ///< MobileBERT inter-block width (0 = standard)
+  int ffn_stacks = 1;    ///< MobileBERT stacked FFNs per layer
+};
+
+/// Table II / Section V.F model zoo (shapes follow the cited papers; the
+/// two MobileBERT variants use the published bottleneck architecture).
+[[nodiscard]] BertConfig bert_tiny(int seq_len);
+[[nodiscard]] BertConfig bert_mini(int seq_len);
+[[nodiscard]] BertConfig roberta_base(int seq_len);
+[[nodiscard]] BertConfig mobilebert_base(int seq_len);
+[[nodiscard]] BertConfig mobilebert_tiny(int seq_len);
+/// All five, in the paper's Fig 8 order.
+[[nodiscard]] std::vector<BertConfig> paper_benchmarks(int seq_len);
+
+/// One GEMM: (m x k) * (k x n), executed `count` times per model inference.
+struct GemmShape {
+  std::string label;
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::int64_t count = 1;
+
+  [[nodiscard]] std::int64_t macs() const { return m * k * n * count; }
+};
+
+/// Non-linear operation totals for one inference, in *approximator element
+/// operations* (each is one lookup + one MAC on the vector unit; a softmax
+/// over n elements costs 2n+1 of them: n exp, 1 reciprocal, n scale).
+struct NonLinearProfile {
+  std::int64_t softmax_rows = 0;
+  std::int64_t softmax_row_len = 0;
+  std::int64_t gelu_elements = 0;
+  std::int64_t layernorm_rsqrt_ops = 0;
+
+  /// Total element operations the vector unit must execute.
+  [[nodiscard]] std::int64_t total_approx_ops() const {
+    return softmax_rows * (2 * softmax_row_len + 1) + gelu_elements +
+           layernorm_rsqrt_ops;
+  }
+};
+
+/// The full per-inference workload of a model.
+struct ModelWorkload {
+  BertConfig config;
+  std::vector<GemmShape> gemms;  ///< with per-inference counts
+  NonLinearProfile nonlinear;
+
+  [[nodiscard]] std::int64_t total_macs() const {
+    std::int64_t total = 0;
+    for (const auto& g : gemms) total += g.macs();
+    return total;
+  }
+};
+
+/// Expands a config into its encoder-stack GEMMs and non-linear totals.
+[[nodiscard]] ModelWorkload model_workload(const BertConfig& config);
+
+}  // namespace nova::workload

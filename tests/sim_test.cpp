@@ -1,0 +1,114 @@
+// Unit tests for the multi-clock cycle engine and statistics registry.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace nova::sim {
+namespace {
+
+TEST(Engine, SingleDomainTicksOncePerCycle) {
+  Engine engine;
+  const int dom = engine.add_domain("core", 1);
+  int fired = 0;
+  engine.add_callback(dom, [&fired](Cycle) { ++fired; });
+  engine.run_base_cycles(25);
+  EXPECT_EQ(fired, 25);
+  EXPECT_EQ(engine.cycles(dom), 25u);
+}
+
+TEST(Engine, FastDomainTicksMultiplierTimesPerBaseCycle) {
+  Engine engine;
+  const int core = engine.add_domain("core", 1);
+  const int noc = engine.add_domain("noc", 2);
+  int core_fired = 0, noc_fired = 0;
+  engine.add_callback(core, [&](Cycle) { ++core_fired; });
+  engine.add_callback(noc, [&](Cycle) { ++noc_fired; });
+  engine.run_base_cycles(10);
+  EXPECT_EQ(core_fired, 10);
+  EXPECT_EQ(noc_fired, 20);
+  EXPECT_EQ(engine.cycles(noc), 20u);
+}
+
+TEST(Engine, DomainLocalCycleNumbersAreConsecutive) {
+  Engine engine;
+  engine.add_domain("core", 1);
+  const int noc = engine.add_domain("noc", 4);
+  Cycle expected = 0;
+  bool monotonic = true;
+  engine.add_callback(noc, [&](Cycle now) {
+    if (now != expected) monotonic = false;
+    ++expected;
+  });
+  engine.run_base_cycles(5);
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(expected, 20u);
+}
+
+TEST(Engine, ComponentsFireInRegistrationOrderWithinTick) {
+  Engine engine;
+  const int dom = engine.add_domain("core", 1);
+  std::vector<int> order;
+  engine.add_callback(dom, [&](Cycle) { order.push_back(1); });
+  engine.add_callback(dom, [&](Cycle) { order.push_back(2); });
+  engine.run_base_cycles(2);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+  EXPECT_EQ(order[3], 2);
+}
+
+class CountingComponent : public Ticked {
+ public:
+  void tick(Cycle) override { ++count; }
+  int count = 0;
+};
+
+TEST(Engine, TickedComponentsAreDriven) {
+  Engine engine;
+  const int dom = engine.add_domain("core", 1);
+  CountingComponent comp;
+  engine.add_component(dom, comp);
+  engine.run_base_cycles(7);
+  EXPECT_EQ(comp.count, 7);
+}
+
+TEST(Stats, CountersAccumulate) {
+  StatRegistry stats;
+  stats.bump("flits");
+  stats.bump("flits", 4);
+  EXPECT_EQ(stats.counter("flits"), 5u);
+  EXPECT_EQ(stats.counter("missing"), 0u);
+}
+
+TEST(Stats, AccumulatorsTrackMeanAndSum) {
+  StatRegistry stats;
+  stats.sample("latency", 2.0);
+  stats.sample("latency", 4.0);
+  EXPECT_DOUBLE_EQ(stats.mean("latency"), 3.0);
+  EXPECT_DOUBLE_EQ(stats.sum("latency"), 6.0);
+  EXPECT_EQ(stats.sample_count("latency"), 2u);
+}
+
+TEST(Stats, ClearResetsEverything) {
+  StatRegistry stats;
+  stats.bump("x");
+  stats.sample("y", 1.0);
+  stats.clear();
+  EXPECT_EQ(stats.counter("x"), 0u);
+  EXPECT_EQ(stats.sample_count("y"), 0u);
+}
+
+TEST(Stats, TableContainsAllEntries) {
+  StatRegistry stats;
+  stats.bump("alpha", 3);
+  stats.sample("beta", 1.5);
+  const auto table = stats.to_table();
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nova::sim
