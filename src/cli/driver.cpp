@@ -1,0 +1,278 @@
+#include "cli/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "approx/mlp_fitter.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/overlay.hpp"
+#include "core/vector_unit.hpp"
+#include "workload/bert.hpp"
+
+namespace nova::cli {
+
+namespace {
+
+std::optional<std::vector<workload::BertConfig>> resolve_workloads(
+    const std::string& name, int seq_len) {
+  if (name == "bert" || name == "all")
+    return workload::paper_benchmarks(seq_len);
+  if (name == "bert-tiny") return {{workload::bert_tiny(seq_len)}};
+  if (name == "bert-mini") return {{workload::bert_mini(seq_len)}};
+  if (name == "roberta" || name == "roberta-base")
+    return {{workload::roberta_base(seq_len)}};
+  if (name == "mobilebert" || name == "mobilebert-base")
+    return {{workload::mobilebert_base(seq_len)}};
+  if (name == "mobilebert-tiny")
+    return {{workload::mobilebert_tiny(seq_len)}};
+  return std::nullopt;
+}
+
+std::optional<hw::AcceleratorKind> resolve_host(const std::string& name) {
+  if (name == "react") return hw::AcceleratorKind::kReact;
+  if (name == "tpuv3") return hw::AcceleratorKind::kTpuV3;
+  if (name == "tpuv4") return hw::AcceleratorKind::kTpuV4;
+  if (name == "nvdla") return hw::AcceleratorKind::kJetsonNvdla;
+  return std::nullopt;
+}
+
+std::optional<approx::NonLinearFn> resolve_function(const std::string& name) {
+  if (name == "exp") return approx::NonLinearFn::kExp;
+  if (name == "reciprocal") return approx::NonLinearFn::kReciprocal;
+  if (name == "gelu") return approx::NonLinearFn::kGelu;
+  if (name == "tanh") return approx::NonLinearFn::kTanh;
+  if (name == "sigmoid") return approx::NonLinearFn::kSigmoid;
+  if (name == "erf") return approx::NonLinearFn::kErf;
+  if (name == "silu") return approx::NonLinearFn::kSilu;
+  if (name == "softplus") return approx::NonLinearFn::kSoftplus;
+  if (name == "rsqrt") return approx::NonLinearFn::kRsqrt;
+  return std::nullopt;
+}
+
+void emit(const Table& table, bool csv) {
+  if (csv) {
+    std::fputs(table.to_csv().c_str(), stdout);
+    std::puts("");
+  } else {
+    table.print();
+    std::puts("");
+  }
+}
+
+/// Section 1: the deployment the mapper validates -- overlay parameters,
+/// broadcast schedule, NoC clock, and the physical timing check.
+void report_deployment(const Options& options,
+                       const core::OverlayDescription& overlay,
+                       const core::NovaConfig& cfg,
+                       const approx::PwlTable& fit) {
+  const auto schedule = core::make_schedule(fit, cfg.pairs_per_flit);
+  const core::NovaVectorUnit unit(cfg);
+  const auto check = unit.mapping_check(fit);
+  // Width of the physical link = the widest flit the schedule broadcasts
+  // (the flit type owns the wire format; don't re-derive it here).
+  int link_bits = 0;
+  for (const auto& flit : schedule.flits)
+    link_bits = std::max(link_bits, flit.bits());
+
+  Table table("Deployment: NOVA on " + std::string(hw::to_string(overlay.host)));
+  table.set_header({"parameter", "value"});
+  table.add_row({"attachment", overlay.attachment});
+  table.add_row({"routers x neurons", std::to_string(cfg.routers) + " x " +
+                                          std::to_string(cfg.neurons_per_router)});
+  table.add_row({"router spacing (mm)", Table::num(cfg.spacing_mm, 2)});
+  table.add_row({"accel clock (MHz)", Table::num(cfg.accel_freq_mhz, 0)});
+  table.add_row({"function", fit.label()});
+  table.add_row({"breakpoints", std::to_string(fit.breakpoints())});
+  table.add_row({"pairs per flit", std::to_string(cfg.pairs_per_flit)});
+  table.add_row({"link width (bits)", std::to_string(link_bits)});
+  table.add_row({"flits per lookup (NoC mult)",
+                 std::to_string(schedule.noc_clock_multiplier)});
+  table.add_row({"NoC clock (MHz)", Table::num(check.noc_freq_mhz, 0)});
+  table.add_row({"max hops per NoC cycle",
+                 std::to_string(check.max_hops_per_cycle)});
+  table.add_row({"broadcast (accel cycles)",
+                 std::to_string(check.broadcast_accel_cycles)});
+  table.add_row({"single-cycle lookup",
+                 check.single_cycle_lookup ? "yes" : "NO (fails timing)"});
+  emit(table, options.csv);
+}
+
+/// Section 2: PWL fit accuracy for the chosen function plus the softmax /
+/// layernorm operators every attention layer needs.
+void report_accuracy(const Options& options, approx::NonLinearFn chosen) {
+  std::vector<approx::NonLinearFn> fns = {chosen};
+  for (const auto fn :
+       {approx::NonLinearFn::kExp, approx::NonLinearFn::kReciprocal,
+        approx::NonLinearFn::kRsqrt}) {
+    if (fn != chosen) fns.push_back(fn);
+  }
+
+  Table table("PWL accuracy (MLP-trained breakpoints, " +
+              std::to_string(options.breakpoints) + " segments)");
+  table.set_header({"function", "domain", "max |err|", "mean |err|"});
+  for (const auto fn : fns) {
+    const auto& fit =
+        approx::PwlLibrary::instance().get(fn, options.breakpoints);
+    const auto domain = fit.domain();
+    std::string domain_text = "[";
+    domain_text += Table::num(domain.lo, 1);
+    domain_text += ", ";
+    domain_text += Table::num(domain.hi, 1);
+    domain_text += "]";
+    table.add_row({fit.label(), domain_text,
+                   Table::num(fit.max_abs_error(), 5),
+                   Table::num(fit.mean_abs_error(), 5)});
+  }
+  emit(table, options.csv);
+}
+
+/// Section 3: cycle-accurate simulation -- streams random PE waves through
+/// the line NoC + vector unit and reports latency, cycles, and sim energy.
+void report_cycle_sim(const Options& options, const core::NovaConfig& cfg,
+                      const approx::PwlTable& fit) {
+  Rng rng(42);
+  const auto domain = fit.domain();
+  std::vector<std::vector<double>> inputs(
+      static_cast<std::size_t>(cfg.routers));
+  for (auto& stream : inputs) {
+    stream.reserve(
+        static_cast<std::size_t>(cfg.neurons_per_router) * options.waves);
+    for (int i = 0; i < cfg.neurons_per_router * options.waves; ++i)
+      stream.push_back(rng.uniform(domain.lo, domain.hi));
+  }
+
+  const core::NovaVectorUnit unit(cfg);
+  const auto result = unit.approximate(fit, inputs);
+  const auto energy =
+      core::estimate_energy(hw::tech22(), cfg, fit.breakpoints(), result);
+
+  std::int64_t elements = 0;
+  double max_err = 0.0;
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    for (std::size_t i = 0; i < inputs[r].size(); ++i) {
+      max_err = std::max(
+          max_err, std::abs(result.outputs[r][i] - fit.exact(inputs[r][i])));
+      ++elements;
+    }
+  }
+  const double total_pj = energy.total_pj();
+
+  Table table("Cycle-accurate NoC simulation (" + std::to_string(options.waves)
+              + " waves of " + std::to_string(cfg.neurons_per_router) +
+              " elements per router)");
+  table.set_header({"metric", "value"});
+  table.add_row({"elements approximated", std::to_string(elements)});
+  table.add_row({"wave latency (accel cycles)",
+                 std::to_string(result.wave_latency_cycles)});
+  table.add_row({"batch runtime (accel cycles)",
+                 std::to_string(result.accel_cycles)});
+  table.add_row({"NoC cycles simulated", std::to_string(result.noc_cycles)});
+  table.add_row({"flits injected",
+                 std::to_string(result.stats.counter("noc.flits_injected"))});
+  table.add_row({"sim energy (nJ)", Table::num(total_pj / 1000.0, 3)});
+  table.add_row(
+      {"energy per element (pJ)",
+       Table::num(elements > 0 ? total_pj / static_cast<double>(elements) : 0.0,
+                  3)});
+  table.add_row({"max |err| vs exact (streamed)", Table::num(max_err, 5)});
+  emit(table, options.csv);
+}
+
+/// Section 4: the Fig 8-style per-inference runtime/energy table for the
+/// selected workloads, NOVA vs the per-neuron and per-core LUT baselines.
+void report_workloads(const Options& options,
+                      const std::vector<workload::BertConfig>& configs,
+                      const accel::AcceleratorModel& accel) {
+  Table table("Workload energy: " + accel.name + ", seq_len " +
+              std::to_string(options.seq_len) + ", " +
+              std::to_string(options.breakpoints) + " breakpoints");
+  table.set_header({"benchmark", "GEMM MACs", "approx ops", "runtime ms",
+                    "NOVA mJ", "pn-LUT mJ", "pc-LUT mJ", "pn/NOVA",
+                    "pc/NOVA", "NOVA % of total"});
+  for (const auto& cfg : configs) {
+    const auto wl = workload::model_workload(cfg);
+    const auto nova = accel::evaluate_inference(
+        accel, wl,
+        accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, options.breakpoints});
+    const auto pn = accel::evaluate_inference(
+        accel, wl,
+        accel::ApproximatorChoice{hw::UnitKind::kPerNeuronLut,
+                                  options.breakpoints});
+    const auto pc = accel::evaluate_inference(
+        accel, wl,
+        accel::ApproximatorChoice{hw::UnitKind::kPerCoreLut,
+                                  options.breakpoints});
+    table.add_row(
+        {cfg.name, std::to_string(wl.total_macs()),
+         std::to_string(nova.approx_ops), Table::num(nova.runtime_ms, 3),
+         Table::num(nova.approx_energy_mj, 4),
+         Table::num(pn.approx_energy_mj, 4),
+         Table::num(pc.approx_energy_mj, 4),
+         Table::num(pn.approx_energy_mj / nova.approx_energy_mj, 2),
+         Table::num(pc.approx_energy_mj / nova.approx_energy_mj, 2),
+         Table::num(100.0 * nova.overhead_fraction(), 2)});
+  }
+  emit(table, options.csv);
+}
+
+}  // namespace
+
+int run(const Options& options) {
+  const auto workloads = resolve_workloads(options.workload, options.seq_len);
+  if (!workloads) {
+    std::fprintf(stderr,
+                 "nova_sim: unknown workload '%s' (try --list)\n",
+                 options.workload.c_str());
+    return 2;
+  }
+  const auto host = resolve_host(options.host);
+  if (!host) {
+    std::fprintf(stderr, "nova_sim: unknown host '%s' (try --list)\n",
+                 options.host.c_str());
+    return 2;
+  }
+  const auto fn = resolve_function(options.function);
+  if (!fn) {
+    std::fprintf(stderr, "nova_sim: unknown function '%s' (try --list)\n",
+                 options.function.c_str());
+    return 2;
+  }
+
+  auto overlay = core::make_overlay(*host);
+  core::NovaConfig cfg = overlay.nova;
+  cfg.pairs_per_flit = options.pairs_per_flit;
+  if (options.routers > 0) cfg.routers = options.routers;
+
+  if (!options.csv) {
+    std::printf("nova_sim: %s on %s, seq_len %d\n\n", options.workload.c_str(),
+                hw::to_string(*host), options.seq_len);
+  }
+
+  const auto& fit =
+      approx::PwlLibrary::instance().get(*fn, options.breakpoints);
+  report_deployment(options, overlay, cfg, fit);
+  report_accuracy(options, *fn);
+  if (options.run_cycle_sim) report_cycle_sim(options, cfg, fit);
+  report_workloads(options, *workloads, accel::make_accelerator(*host));
+  return 0;
+}
+
+void print_catalog() {
+  std::puts("workloads:");
+  std::puts("  bert (alias: all)  -- the five Fig 8 benchmarks below");
+  std::puts("  bert-tiny, bert-mini, roberta, mobilebert-base, "
+            "mobilebert-tiny");
+  std::puts("hosts:");
+  std::puts("  react, tpuv3, tpuv4, nvdla");
+  std::puts("functions:");
+  std::puts("  exp, reciprocal, gelu, tanh, sigmoid, erf, silu, softplus, "
+            "rsqrt");
+}
+
+}  // namespace nova::cli

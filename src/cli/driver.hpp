@@ -1,0 +1,17 @@
+// The nova_sim driver: turns parsed Options into the report the paper's
+// experiments are read from -- deployment/mapper validation, cycle-accurate
+// NoC simulation, PWL accuracy, and the Fig 8-style workload energy table.
+#pragma once
+
+#include "cli/options.hpp"
+
+namespace nova::cli {
+
+/// Runs the full report for `options`. Returns a process exit code
+/// (0 on success, 2 on unknown workload/host/function names).
+[[nodiscard]] int run(const Options& options);
+
+/// Prints the valid --workload / --host / --function names (--list).
+void print_catalog();
+
+}  // namespace nova::cli

@@ -1,0 +1,123 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace nova::cli {
+
+namespace {
+
+/// Parses a bounded integer flag value. Bounds keep derived quantities
+/// (e.g. neurons_per_router * waves) comfortably inside int range.
+bool parse_int(const std::string& flag, const char* text, int min_value,
+               int max_value, int& out, std::string& error) {
+  int value = 0;
+  const char* end = text + std::strlen(text);
+  const auto [ptr, ec] = std::from_chars(text, end, value);
+  if (ec != std::errc{} || ptr != end || value < min_value ||
+      value > max_value) {
+    error = flag + " expects an integer in [" + std::to_string(min_value) +
+            ", " + std::to_string(max_value) + "], got '" + text + "'";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "nova_sim -- NOVA attention-approximator simulation driver\n"
+      "\n"
+      "Evaluates the paper's BERT-family workloads on a host accelerator\n"
+      "with a NOVA NoC vector unit: mapper schedule + timing validation,\n"
+      "cycle-accurate NoC simulation, PWL accuracy, and the Fig 8-style\n"
+      "runtime/energy table against the LUT baselines.\n"
+      "\n"
+      "Usage: nova_sim [options]\n"
+      "  --workload NAME    bert|all (five paper benchmarks) or one of\n"
+      "                     bert-tiny, bert-mini, roberta, mobilebert-base,\n"
+      "                     mobilebert-tiny            (default: bert)\n"
+      "  --seq N            sequence length            (default: 128)\n"
+      "  --breakpoints N    PWL segments per lookup    (default: 16)\n"
+      "  --pairs-per-flit N NoC link width in (slope,bias) pairs per flit\n"
+      "                     (paper: 8 = 257 bits)      (default: 8)\n"
+      "  --routers N        override host router count (default: host config)\n"
+      "  --host NAME        react|tpuv3|tpuv4|nvdla    (default: tpuv4)\n"
+      "  --function NAME    exp|reciprocal|gelu|tanh|sigmoid|erf|silu|\n"
+      "                     softplus|rsqrt             (default: gelu)\n"
+      "  --waves N          PE waves in the cycle sim  (default: 4)\n"
+      "  --csv              emit tables as CSV instead of ASCII\n"
+      "  --no-sim           skip the cycle-accurate NoC simulation\n"
+      "  --list             list workloads, hosts and functions, then exit\n"
+      "  --help             show this text\n"
+      "\n"
+      "Examples:\n"
+      "  nova_sim --workload bert --seq 128\n"
+      "  nova_sim --workload mobilebert-base --seq 1024 --host tpuv3\n"
+      "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n";
+}
+
+bool parse_options(int argc, const char* const* argv, Options& options,
+                   std::string& error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&](const char*& value) {
+      if (i + 1 >= argc) {
+        error = flag + " expects a value";
+        return false;
+      }
+      value = argv[++i];
+      return true;
+    };
+
+    const char* value = nullptr;
+    if (flag == "--help" || flag == "-h") {
+      options.show_help = true;
+      return true;
+    } else if (flag == "--list") {
+      options.show_list = true;
+      return true;
+    } else if (flag == "--csv") {
+      options.csv = true;
+    } else if (flag == "--no-sim") {
+      options.run_cycle_sim = false;
+    } else if (flag == "--workload") {
+      if (!next(value)) return false;
+      options.workload = value;
+    } else if (flag == "--host") {
+      if (!next(value)) return false;
+      options.host = value;
+    } else if (flag == "--function") {
+      if (!next(value)) return false;
+      options.function = value;
+    } else if (flag == "--seq") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 1 << 20, options.seq_len, error))
+        return false;
+    } else if (flag == "--breakpoints") {
+      if (!next(value) ||
+          !parse_int(flag, value, 2, 4096, options.breakpoints, error))
+        return false;
+    } else if (flag == "--pairs-per-flit") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 4096, options.pairs_per_flit, error))
+        return false;
+    } else if (flag == "--routers") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 4096, options.routers, error))
+        return false;
+    } else if (flag == "--waves") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 65536, options.waves, error))
+        return false;
+    } else {
+      error = "unknown flag '" + flag + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nova::cli

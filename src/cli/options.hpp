@@ -1,0 +1,41 @@
+// Command-line options for the nova_sim driver: which workload/host to
+// evaluate and how the NOVA deployment is parameterized (breakpoints,
+// link width, router count).
+#pragma once
+
+#include <string>
+
+namespace nova::cli {
+
+struct Options {
+  /// Workload selector: "bert"/"all" = the paper's five Fig 8 benchmarks,
+  /// or one of bert-tiny, bert-mini, roberta, mobilebert-base,
+  /// mobilebert-tiny.
+  std::string workload = "bert";
+  /// Host accelerator: react, tpuv3, tpuv4, nvdla.
+  std::string host = "tpuv4";
+  /// Non-linear function driven through the mapper/NoC detail sections.
+  std::string function = "gelu";
+  int seq_len = 128;
+  int breakpoints = 16;
+  /// NoC link width in (slope, bias) pairs per flit (paper: 8 = 257 bits).
+  int pairs_per_flit = 8;
+  /// Router count override; 0 keeps the host overlay's configuration.
+  int routers = 0;
+  /// PE output waves streamed through the cycle-accurate simulation.
+  int waves = 4;
+  bool csv = false;
+  bool run_cycle_sim = true;
+  bool show_help = false;
+  bool show_list = false;
+};
+
+/// Usage text printed for --help and on parse errors.
+[[nodiscard]] std::string usage();
+
+/// Parses argv into `options`. Returns false and fills `error` on bad
+/// flags or out-of-range values; --help/--list short-circuit validation.
+[[nodiscard]] bool parse_options(int argc, const char* const* argv,
+                                 Options& options, std::string& error);
+
+}  // namespace nova::cli

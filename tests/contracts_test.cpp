@@ -28,7 +28,7 @@ TEST(Contracts, EngineRejectsInvalidDomain) {
   EXPECT_DEATH(engine.add_domain("bad", 0), "precondition");
   sim::Engine engine2;
   engine2.add_domain("core", 1);
-  EXPECT_DEATH(engine2.cycles(5), "precondition");
+  EXPECT_DEATH((void)engine2.cycles(5), "precondition");
 }
 
 TEST(Contracts, PwlTableRejectsMismatchedShapes) {
@@ -52,9 +52,9 @@ TEST(Contracts, FittersRejectNonPositiveBreakpoints) {
 }
 
 TEST(Contracts, ReciprocalRejectsZero) {
-  EXPECT_DEATH(approx::eval_exact(approx::NonLinearFn::kReciprocal, 0.0),
+  EXPECT_DEATH((void)approx::eval_exact(approx::NonLinearFn::kReciprocal, 0.0),
                "precondition");
-  EXPECT_DEATH(approx::eval_exact(approx::NonLinearFn::kRsqrt, -1.0),
+  EXPECT_DEATH((void)approx::eval_exact(approx::NonLinearFn::kRsqrt, -1.0),
                "precondition");
 }
 
@@ -92,7 +92,7 @@ TEST(Contracts, LutUnitRejectsWrongStreamCount) {
 
 TEST(Contracts, SystolicRejectsDegenerateGemm) {
   const accel::SystolicConfig cfg{8, 8, accel::Dataflow::kWeightStationary};
-  EXPECT_DEATH(accel::gemm_cycles(cfg, 0, 8, 8), "precondition");
+  EXPECT_DEATH((void)accel::gemm_cycles(cfg, 0, 8, 8), "precondition");
 }
 
 TEST(Contracts, WorkloadRejectsIndivisibleHeads) {
@@ -110,13 +110,13 @@ TEST(Contracts, TensorRejectsShapeMismatch) {
 
 TEST(Contracts, TensorAtChecksBounds) {
   nn::Tensor a({2, 2});
-  EXPECT_DEATH(a.at(2, 0), "precondition");
+  EXPECT_DEATH((void)a.at(2, 0), "precondition");
 }
 
 TEST(Contracts, SramModelsRejectNonPositiveSizes) {
   const auto& t = hw::tech22();
-  EXPECT_DEATH(hw::sram_bank_area_um2(t, 0, 1), "precondition");
-  EXPECT_DEATH(hw::sram_read_energy_pj(t, 4, 0), "precondition");
+  EXPECT_DEATH((void)hw::sram_bank_area_um2(t, 0, 1), "precondition");
+  EXPECT_DEATH((void)hw::sram_read_energy_pj(t, 4, 0), "precondition");
 }
 
 }  // namespace
