@@ -21,6 +21,19 @@ const char* to_string(NonLinearFn fn) {
   return "?";
 }
 
+bool from_string(const std::string& name, NonLinearFn& out) {
+  for (const auto fn :
+       {NonLinearFn::kExp, NonLinearFn::kReciprocal, NonLinearFn::kGelu,
+        NonLinearFn::kTanh, NonLinearFn::kSigmoid, NonLinearFn::kErf,
+        NonLinearFn::kSilu, NonLinearFn::kSoftplus, NonLinearFn::kRsqrt}) {
+    if (name == to_string(fn)) {
+      out = fn;
+      return true;
+    }
+  }
+  return false;
+}
+
 double eval_exact(NonLinearFn fn, double x) {
   switch (fn) {
     case NonLinearFn::kExp: return std::exp(x);

@@ -25,6 +25,10 @@ enum class NonLinearFn {
 
 [[nodiscard]] const char* to_string(NonLinearFn fn);
 
+/// Inverse of to_string: resolves a function name ("gelu", "exp", ...).
+/// Returns false when `name` names no known function.
+[[nodiscard]] bool from_string(const std::string& name, NonLinearFn& out);
+
 /// Exact (double-precision) evaluation of the function.
 [[nodiscard]] double eval_exact(NonLinearFn fn, double x);
 

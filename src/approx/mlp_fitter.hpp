@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 
 #include "approx/pwl.hpp"
 
@@ -36,10 +37,14 @@ struct MlpFitOptions {
                                const MlpFitOptions& options = {});
 
 /// A trained PWL provider with memoization: tables are expensive to train
-/// and reused across benches/examples/the mapper.
+/// and reused across benches/examples/the mapper. get() is thread-safe
+/// (the serving layer's worker pool shares the process-wide instance);
+/// returned references stay valid for the library's lifetime.
 class PwlLibrary {
  public:
-  /// Returns the MLP-fit table for (fn, breakpoints), training on first use.
+  /// Returns the MLP-fit table for (fn, breakpoints), training on first
+  /// use. Training is serialized under the library mutex; hot paths should
+  /// pre-warm the tables they need before fanning out.
   const PwlTable& get(NonLinearFn fn, int breakpoints);
 
   /// Process-wide shared library instance.
@@ -54,6 +59,7 @@ class PwlLibrary {
       return breakpoints < o.breakpoints;
     }
   };
+  std::mutex mutex_;
   std::map<Key, PwlTable> tables_;
 };
 

@@ -13,6 +13,8 @@
 #include "common/table.hpp"
 #include "core/overlay.hpp"
 #include "core/vector_unit.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
 #include "workload/bert.hpp"
 
 namespace nova::cli {
@@ -23,14 +25,8 @@ std::optional<std::vector<workload::BertConfig>> resolve_workloads(
     const std::string& name, int seq_len) {
   if (name == "bert" || name == "all")
     return workload::paper_benchmarks(seq_len);
-  if (name == "bert-tiny") return {{workload::bert_tiny(seq_len)}};
-  if (name == "bert-mini") return {{workload::bert_mini(seq_len)}};
-  if (name == "roberta" || name == "roberta-base")
-    return {{workload::roberta_base(seq_len)}};
-  if (name == "mobilebert" || name == "mobilebert-base")
-    return {{workload::mobilebert_base(seq_len)}};
-  if (name == "mobilebert-tiny")
-    return {{workload::mobilebert_tiny(seq_len)}};
+  workload::BertConfig config;
+  if (workload::by_name(name, seq_len, config)) return {{config}};
   return std::nullopt;
 }
 
@@ -43,15 +39,8 @@ std::optional<hw::AcceleratorKind> resolve_host(const std::string& name) {
 }
 
 std::optional<approx::NonLinearFn> resolve_function(const std::string& name) {
-  if (name == "exp") return approx::NonLinearFn::kExp;
-  if (name == "reciprocal") return approx::NonLinearFn::kReciprocal;
-  if (name == "gelu") return approx::NonLinearFn::kGelu;
-  if (name == "tanh") return approx::NonLinearFn::kTanh;
-  if (name == "sigmoid") return approx::NonLinearFn::kSigmoid;
-  if (name == "erf") return approx::NonLinearFn::kErf;
-  if (name == "silu") return approx::NonLinearFn::kSilu;
-  if (name == "softplus") return approx::NonLinearFn::kSoftplus;
-  if (name == "rsqrt") return approx::NonLinearFn::kRsqrt;
+  approx::NonLinearFn fn;
+  if (approx::from_string(name, fn)) return fn;
   return std::nullopt;
 }
 
@@ -136,7 +125,7 @@ void report_accuracy(const Options& options, approx::NonLinearFn chosen) {
 /// the line NoC + vector unit and reports latency, cycles, and sim energy.
 void report_cycle_sim(const Options& options, const core::NovaConfig& cfg,
                       const approx::PwlTable& fit) {
-  Rng rng(42);
+  Rng rng(options.seed);
   const auto domain = fit.domain();
   std::vector<std::vector<double>> inputs(
       static_cast<std::size_t>(cfg.routers));
@@ -221,6 +210,109 @@ void report_workloads(const Options& options,
   emit(table, options.csv);
 }
 
+/// --serve: the batched inference-serving engine over a pool of simulated
+/// NOVA instances. Emits a summary table (throughput + latency percentiles)
+/// and a per-instance utilization table; output is deterministic for a
+/// fixed seed regardless of --threads.
+int run_serve(const Options& options, hw::AcceleratorKind host,
+              approx::NonLinearFn fn, const core::NovaConfig& cfg) {
+  std::vector<serve::InferenceRequest> requests;
+  if (!options.trace_path.empty()) {
+    std::string error;
+    if (!serve::load_trace(options.trace_path, requests, error)) {
+      std::fprintf(stderr, "nova_sim: %s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    serve::TrafficProfile profile;
+    profile.rate_rps = options.rate_rps;
+    profile.breakpoints = options.breakpoints;
+    profile.base_seq_len = options.seq_len;
+    // An explicit --workload / --function narrows the generated mix;
+    // "bert"/"all" asks for the full five-benchmark stream.
+    if (options.workload_set) {
+      if (options.workload == "bert" || options.workload == "all") {
+        profile.workloads = {"mobilebert-base", "mobilebert-tiny", "roberta",
+                             "bert-tiny", "bert-mini"};
+      } else {
+        profile.workloads = {options.workload};
+      }
+    }
+    if (options.function_set) profile.functions = {fn};
+    requests = serve::generate_poisson(options.requests, profile,
+                                       options.seed);
+  }
+  if (!options.csv) {
+    std::printf("nova_sim: serving on %s, seed %llu\n\n",
+                hw::to_string(host),
+                static_cast<unsigned long long>(options.seed));
+  }
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.nova = cfg;
+  serve_cfg.instances = options.instances;
+  serve_cfg.threads = options.threads;
+  serve_cfg.max_batch = options.max_batch;
+  serve_cfg.seed = options.seed;
+
+  const serve::BatchScheduler scheduler(serve_cfg);
+  const auto report = scheduler.run(requests);
+
+  Table summary("Serving: " + std::to_string(requests.size()) +
+                " requests on " + std::to_string(options.instances) +
+                " NOVA instance(s), " + std::to_string(options.threads) +
+                " pricing thread(s)");
+  summary.set_header({"metric", "value"});
+  summary.add_row({"requests", std::to_string(requests.size())});
+  summary.add_row({"instances", std::to_string(options.instances)});
+  summary.add_row({"max batch", std::to_string(options.max_batch)});
+  summary.add_row(
+      {"arrivals", options.trace_path.empty()
+                       ? "poisson @ " + Table::num(options.rate_rps, 1) +
+                             " req/s"
+                       : "trace " + options.trace_path});
+  summary.add_row({"batches dispatched",
+                   std::to_string(report.stats.counter("serve.batches"))});
+  const auto* batch_hist = report.stats.find_histogram("serve.batch_size");
+  summary.add_row(
+      {"mean batch size",
+       Table::num(batch_hist == nullptr ? 0.0 : batch_hist->mean(), 2)});
+  summary.add_row({"makespan (ms)", Table::num(report.makespan_us / 1e3, 3)});
+  summary.add_row(
+      {"throughput (req/s)", Table::num(report.throughput_rps, 1)});
+  summary.add_row({"mean service (us)",
+                   Table::num(report.stats.mean("serve.service_us"), 3)});
+  summary.add_row({"mean queue wait (us)",
+                   Table::num(report.stats.mean("serve.queue_us"), 3)});
+  summary.add_row(
+      {"latency p50 (us)", Table::num(report.latency_percentile_us(50.0), 3)});
+  summary.add_row(
+      {"latency p95 (us)", Table::num(report.latency_percentile_us(95.0), 3)});
+  summary.add_row(
+      {"latency p99 (us)", Table::num(report.latency_percentile_us(99.0), 3)});
+  const auto* latency = report.stats.find_histogram("serve.latency_us");
+  summary.add_row(
+      {"latency max (us)",
+       Table::num(latency == nullptr ? 0.0 : latency->max(), 3)});
+  emit(summary, options.csv);
+
+  Table per_instance("Per-instance utilization");
+  per_instance.set_header(
+      {"instance", "requests", "batches", "busy ms", "utilization %"});
+  for (std::size_t i = 0; i < report.instances.size(); ++i) {
+    const auto& inst = report.instances[i];
+    const double util = report.makespan_us > 0.0
+                            ? 100.0 * inst.busy_us / report.makespan_us
+                            : 0.0;
+    per_instance.add_row({std::to_string(i), std::to_string(inst.requests),
+                          std::to_string(inst.batches),
+                          Table::num(inst.busy_us / 1e3, 3),
+                          Table::num(util, 2)});
+  }
+  emit(per_instance, options.csv);
+  return 0;
+}
+
 }  // namespace
 
 int run(const Options& options) {
@@ -248,6 +340,8 @@ int run(const Options& options) {
   core::NovaConfig cfg = overlay.nova;
   cfg.pairs_per_flit = options.pairs_per_flit;
   if (options.routers > 0) cfg.routers = options.routers;
+
+  if (options.serve) return run_serve(options, *host, *fn, cfg);
 
   if (!options.csv) {
     std::printf("nova_sim: %s on %s, seq_len %d\n\n", options.workload.c_str(),

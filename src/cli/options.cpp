@@ -1,7 +1,6 @@
 #include "cli/options.hpp"
 
-#include <charconv>
-#include <cstring>
+#include "common/parse.hpp"
 
 namespace nova::cli {
 
@@ -12,11 +11,36 @@ namespace {
 bool parse_int(const std::string& flag, const char* text, int min_value,
                int max_value, int& out, std::string& error) {
   int value = 0;
-  const char* end = text + std::strlen(text);
-  const auto [ptr, ec] = std::from_chars(text, end, value);
-  if (ec != std::errc{} || ptr != end || value < min_value ||
+  if (!parse_full(std::string(text), value) || value < min_value ||
       value > max_value) {
     error = flag + " expects an integer in [" + std::to_string(min_value) +
+            ", " + std::to_string(max_value) + "], got '" + text + "'";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Parses a full-range unsigned 64-bit flag value (seeds).
+bool parse_u64(const std::string& flag, const char* text, std::uint64_t& out,
+               std::string& error) {
+  std::uint64_t value = 0;
+  if (!parse_full(std::string(text), value)) {
+    error = flag + " expects an unsigned 64-bit integer, got '" +
+            std::string(text) + "'";
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Parses a positive bounded double flag value (rates).
+bool parse_double(const std::string& flag, const char* text, double min_value,
+                  double max_value, double& out, std::string& error) {
+  double value = 0.0;
+  if (!parse_full(std::string(text), value) || value < min_value ||
+      value > max_value) {
+    error = flag + " expects a number in [" + std::to_string(min_value) +
             ", " + std::to_string(max_value) + "], got '" + text + "'";
     return false;
   }
@@ -33,7 +57,9 @@ std::string usage() {
       "Evaluates the paper's BERT-family workloads on a host accelerator\n"
       "with a NOVA NoC vector unit: mapper schedule + timing validation,\n"
       "cycle-accurate NoC simulation, PWL accuracy, and the Fig 8-style\n"
-      "runtime/energy table against the LUT baselines.\n"
+      "runtime/energy table against the LUT baselines. With --serve, runs\n"
+      "the batched inference-serving engine over a pool of simulated NOVA\n"
+      "instances and reports latency percentiles and throughput.\n"
       "\n"
       "Usage: nova_sim [options]\n"
       "  --workload NAME    bert|all (five paper benchmarks) or one of\n"
@@ -48,15 +74,31 @@ std::string usage() {
       "  --function NAME    exp|reciprocal|gelu|tanh|sigmoid|erf|silu|\n"
       "                     softplus|rsqrt             (default: gelu)\n"
       "  --waves N          PE waves in the cycle sim  (default: 4)\n"
+      "  --seed N           RNG seed for synthetic inputs and serve traffic\n"
+      "                     (default: 42)\n"
       "  --csv              emit tables as CSV instead of ASCII\n"
       "  --no-sim           skip the cycle-accurate NoC simulation\n"
       "  --list             list workloads, hosts and functions, then exit\n"
       "  --help             show this text\n"
       "\n"
+      "Serving mode:\n"
+      "  --serve            run the batched inference-serving engine\n"
+      "  --requests N       Poisson-generated requests  (default: 256)\n"
+      "  --rate R           mean arrival rate, req/s    (default: 500000)\n"
+      "  --instances N      simulated NOVA instances    (default: 2)\n"
+      "  --threads N        pricing worker threads; results are identical\n"
+      "                     for every value             (default: 1)\n"
+      "  --batch N          max requests fused per dispatch (default: 8)\n"
+      "  --trace FILE       replay 'arrival_us,workload,function,seq_len,\n"
+      "                     breakpoints' lines instead of Poisson arrivals\n"
+      "                     (implies --serve); --workload/--function narrow\n"
+      "                     the generated traffic mix\n"
+      "\n"
       "Examples:\n"
       "  nova_sim --workload bert --seq 128\n"
       "  nova_sim --workload mobilebert-base --seq 1024 --host tpuv3\n"
-      "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n";
+      "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n"
+      "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n";
 }
 
 bool parse_options(int argc, const char* const* argv, Options& options,
@@ -83,15 +125,23 @@ bool parse_options(int argc, const char* const* argv, Options& options,
       options.csv = true;
     } else if (flag == "--no-sim") {
       options.run_cycle_sim = false;
+    } else if (flag == "--serve") {
+      options.serve = true;
     } else if (flag == "--workload") {
       if (!next(value)) return false;
       options.workload = value;
+      options.workload_set = true;
     } else if (flag == "--host") {
       if (!next(value)) return false;
       options.host = value;
     } else if (flag == "--function") {
       if (!next(value)) return false;
       options.function = value;
+      options.function_set = true;
+    } else if (flag == "--trace") {
+      if (!next(value)) return false;
+      options.trace_path = value;
+      options.serve = true;  // a trace is only consumed by serving mode
     } else if (flag == "--seq") {
       if (!next(value) ||
           !parse_int(flag, value, 1, 1 << 20, options.seq_len, error))
@@ -111,6 +161,29 @@ bool parse_options(int argc, const char* const* argv, Options& options,
     } else if (flag == "--waves") {
       if (!next(value) ||
           !parse_int(flag, value, 1, 65536, options.waves, error))
+        return false;
+    } else if (flag == "--seed") {
+      if (!next(value) || !parse_u64(flag, value, options.seed, error))
+        return false;
+    } else if (flag == "--requests") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 1 << 20, options.requests, error))
+        return false;
+    } else if (flag == "--rate") {
+      if (!next(value) ||
+          !parse_double(flag, value, 1e-3, 1e9, options.rate_rps, error))
+        return false;
+    } else if (flag == "--instances") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 4096, options.instances, error))
+        return false;
+    } else if (flag == "--threads") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 256, options.threads, error))
+        return false;
+    } else if (flag == "--batch") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 4096, options.max_batch, error))
         return false;
     } else {
       error = "unknown flag '" + flag + "'";

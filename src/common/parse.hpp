@@ -1,0 +1,23 @@
+// Strict full-consumption numeric parsing shared by the CLI flag parser
+// and the serve-layer trace reader: the whole field must be the number,
+// so trailing garbage ("64x") or swallowed extra columns ("16, 99") are
+// rejected instead of silently truncated.
+#pragma once
+
+#include <charconv>
+#include <string>
+
+namespace nova {
+
+/// Parses all of `text` as a T (integer or floating point). Returns false
+/// unless the entire string was consumed.
+template <typename T>
+[[nodiscard]] bool parse_full(const std::string& text, T& out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace nova

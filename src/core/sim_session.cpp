@@ -1,0 +1,173 @@
+#include "core/sim_session.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/fixed_point.hpp"
+
+namespace nova::core {
+
+namespace {
+
+int derive_hops_per_noc_cycle(const NovaConfig& config) {
+  // Physical SMART bypass depth, judged at the accelerator (lookup) clock:
+  // the repeated line is wave-pipelined, so consecutive flits of the train
+  // are in flight simultaneously and each must clear the line within the
+  // lookup (accelerator) cycle -- the criterion behind the paper's
+  // "10 routers at 1.5 GHz" bound and its 2-cycle latency for every
+  // Table II deployment. The m-times-faster NoC clock sequences launches;
+  // it does not shorten the combinational reach budget.
+  if (config.max_hops_per_cycle > 0) return config.max_hops_per_cycle;
+  return std::max(1, hw::max_hops_per_cycle(hw::tech22(),
+                                            config.accel_freq_mhz,
+                                            config.spacing_mm));
+}
+
+}  // namespace
+
+bool SimSession::Wave::complete() const {
+  return std::all_of(routers.begin(), routers.end(),
+                     [](const RouterWave& r) { return r.complete(); });
+}
+
+SimSession::SimSession(const NovaConfig& config,
+                       const approx::PwlTable& table,
+                       const std::vector<std::vector<double>>& inputs)
+    : config_(config),
+      table_(table),
+      inputs_(inputs),
+      schedule_(make_schedule(table, config.pairs_per_flit)),
+      hops_per_noc_cycle_(derive_hops_per_noc_cycle(config)),
+      accel_domain_(engine_.add_domain("accel", 1)),
+      noc_domain_(engine_.add_domain("noc", schedule_.noc_clock_multiplier)),
+      line_(noc::LineNocConfig{config.routers, hops_per_noc_cycle_},
+            &result_.stats),
+      cursor_(inputs.size(), 0) {
+  NOVA_EXPECTS(static_cast<int>(inputs.size()) == config_.routers);
+
+  result_.outputs.resize(inputs_.size());
+  for (std::size_t r = 0; r < inputs_.size(); ++r) {
+    result_.outputs[r].reserve(inputs_[r].size());
+  }
+
+  line_.set_observer([this](int router, const noc::Flit& flit, sim::Cycle) {
+    observe(router, flit);
+  });
+  // The wave-issue callback advertises quiescence once the pipeline stages
+  // are empty and the streams are consumed, so the engine can fast-forward
+  // a drained session.
+  engine_.add_callback(
+      accel_domain_, [this](sim::Cycle now) { accel_tick(now); },
+      [this] { return pipeline_idle(); });
+  engine_.add_component(noc_domain_, line_);
+}
+
+bool SimSession::all_inputs_consumed() const {
+  for (std::size_t r = 0; r < inputs_.size(); ++r) {
+    if (cursor_[r] < inputs_[r].size()) return false;
+  }
+  return true;
+}
+
+bool SimSession::pipeline_idle() const {
+  return !lookup_wave_.has_value() && !mac_wave_.has_value() &&
+         all_inputs_consumed();
+}
+
+bool SimSession::drained() const { return pipeline_idle() && line_.idle(); }
+
+void SimSession::observe(int router, const noc::Flit& flit) {
+  if (!lookup_wave_.has_value()) return;
+  auto& rw = lookup_wave_->routers[static_cast<std::size_t>(router)];
+  for (std::size_t i = 0; i < rw.addresses.size(); ++i) {
+    if (rw.have[i]) continue;
+    const int addr = rw.addresses[i];
+    if (schedule_.tag_of(addr) != flit.tag()) continue;
+    rw.captured[i] = flit.pair(schedule_.slot_of(addr));
+    rw.have[i] = true;
+    ++rw.captured_count;
+    result_.stats.bump("unit.pair_captures");
+  }
+}
+
+// Accelerator-clock phase: MAC drain, capture->MAC move, wave issue.
+void SimSession::accel_tick(sim::Cycle now) {
+  // (a) A wave whose pairs are all captured enters the MAC stage.
+  if (!mac_wave_.has_value() && lookup_wave_.has_value() &&
+      lookup_wave_->complete()) {
+    mac_wave_ = std::move(lookup_wave_);
+    lookup_wave_.reset();
+  }
+  // (b) The MAC stage executes: y = slope * x + bias per neuron.
+  if (mac_wave_.has_value()) {
+    for (std::size_t r = 0; r < mac_wave_->routers.size(); ++r) {
+      auto& rw = mac_wave_->routers[r];
+      for (std::size_t i = 0; i < rw.inputs.size(); ++i) {
+        const Word16 y = Word16::mac(rw.captured[i].slope, rw.inputs[i],
+                                     rw.captured[i].bias);
+        result_.outputs[r].push_back(y.to_double());
+        result_.stats.bump("unit.mac_ops");
+      }
+    }
+    result_.wave_latency_cycles =
+        static_cast<int>(now - mac_wave_->issued_at) + 1;
+    last_mac_cycle_ = now;
+    any_mac_done_ = true;
+    mac_wave_.reset();
+  }
+  // (c) Issue the next wave: comparators fire and the mapper launches the
+  // flit train (one flit per NoC cycle).
+  if (!lookup_wave_.has_value() && !all_inputs_consumed()) {
+    Wave wave;
+    wave.issued_at = now;
+    wave.routers.resize(inputs_.size());
+    for (std::size_t r = 0; r < inputs_.size(); ++r) {
+      auto& rw = wave.routers[r];
+      const std::size_t take =
+          std::min(inputs_[r].size() - cursor_[r],
+                   static_cast<std::size_t>(config_.neurons_per_router));
+      rw.inputs.reserve(take);
+      rw.addresses.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        const double x = inputs_[r][cursor_[r] + i];
+        const Word16 xq = Word16::from_double(x);
+        rw.inputs.push_back(xq);
+        rw.addresses.push_back(table_.lookup_address(xq.to_double()));
+        result_.stats.bump("unit.comparator_ops");
+      }
+      cursor_[r] += take;
+      rw.captured.resize(take);
+      rw.have.assign(take, false);
+    }
+    lookup_wave_ = std::move(wave);
+    for (const auto& flit : schedule_.flits) line_.inject(flit);
+    result_.stats.bump("unit.waves");
+  }
+}
+
+ApproxResult SimSession::run() {
+  NOVA_EXPECTS(!ran_);
+  ran_ = true;
+
+  // Run until the pipeline drains. Guard bound: every wave needs at most
+  // (broadcast latency + 2) accelerator cycles even fully serialized.
+  std::size_t total_elems = 0;
+  for (const auto& stream : inputs_) total_elems += stream.size();
+  const int m = schedule_.noc_clock_multiplier;
+  const sim::Cycle guard =
+      16 + 4 * (static_cast<sim::Cycle>(total_elems) /
+                    std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                 config_.neurons_per_router)) +
+                2) *
+               static_cast<sim::Cycle>(
+                   m + config_.routers / std::max(1, hops_per_noc_cycle_) + 2);
+  while (!drained()) {
+    NOVA_ASSERT(engine_.cycles(accel_domain_) < guard);
+    engine_.run_base_cycles(1);
+  }
+  result_.accel_cycles = any_mac_done_ ? last_mac_cycle_ + 1 : 0;
+  result_.noc_cycles = engine_.cycles(noc_domain_);
+  return std::move(result_);
+}
+
+}  // namespace nova::core

@@ -1,0 +1,88 @@
+// SimSession: one cycle-accurate run of the NOVA vector unit, with every
+// piece of per-run state (engine, line NoC, pipeline waves, cursors,
+// statistics) owned by the session object instead of living in the body of
+// NovaVectorUnit::approximate.
+//
+// The extraction exists for the serving layer: a NovaVectorUnit is a pure
+// description of a deployment, and any number of SimSessions over the same
+// unit (or the same PwlTable) may run concurrently on independent threads --
+// nothing in here touches shared mutable state. Callers must keep the table
+// and input streams alive for the session's lifetime and must not share one
+// session between threads; a session is single-shot (construct, run once,
+// read the result).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/vector_unit.hpp"
+#include "noc/line_noc.hpp"
+
+namespace nova::core {
+
+/// One reentrant, single-shot simulation of a NOVA deployment approximating
+/// `table` over per-router input streams.
+class SimSession {
+ public:
+  /// `table` and `inputs` are borrowed for the session's lifetime.
+  /// inputs.size() must equal config.routers.
+  SimSession(const NovaConfig& config, const approx::PwlTable& table,
+             const std::vector<std::vector<double>>& inputs);
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  /// Runs the pipeline to drain and returns the batch result. Single-shot:
+  /// calling run() twice is a contract violation.
+  [[nodiscard]] ApproxResult run();
+
+ private:
+  /// Per-router slice of an in-flight wave.
+  struct RouterWave {
+    std::vector<Word16> inputs;
+    std::vector<int> addresses;
+    std::vector<noc::SlopeBiasPair> captured;
+    std::vector<bool> have;
+    int captured_count = 0;
+
+    [[nodiscard]] bool complete() const {
+      return captured_count == static_cast<int>(inputs.size());
+    }
+  };
+
+  struct Wave {
+    std::vector<RouterWave> routers;
+    sim::Cycle issued_at = 0;
+
+    [[nodiscard]] bool complete() const;
+  };
+
+  void observe(int router, const noc::Flit& flit);
+  void accel_tick(sim::Cycle now);
+  [[nodiscard]] bool all_inputs_consumed() const;
+  /// Quiescence of the accelerator-side pipeline stages (the engine's idle
+  /// fast-forward hook for the wave-issue callback).
+  [[nodiscard]] bool pipeline_idle() const;
+  [[nodiscard]] bool drained() const;
+
+  NovaConfig config_;
+  const approx::PwlTable& table_;                 // borrowed
+  const std::vector<std::vector<double>>& inputs_;  // borrowed
+
+  BroadcastSchedule schedule_;
+  int hops_per_noc_cycle_ = 1;
+  sim::Engine engine_;
+  int accel_domain_ = 0;
+  int noc_domain_ = 0;
+  ApproxResult result_;
+  noc::LineNoc line_;
+
+  std::vector<std::size_t> cursor_;
+  std::optional<Wave> lookup_wave_;
+  std::optional<Wave> mac_wave_;
+  sim::Cycle last_mac_cycle_ = 0;
+  bool any_mac_done_ = false;
+  bool ran_ = false;
+};
+
+}  // namespace nova::core

@@ -1,39 +1,9 @@
 #include "core/vector_unit.hpp"
 
-#include <algorithm>
-#include <optional>
-
 #include "common/assert.hpp"
-#include "common/fixed_point.hpp"
+#include "core/sim_session.hpp"
 
 namespace nova::core {
-
-namespace {
-
-/// Per-router slice of an in-flight wave.
-struct RouterWave {
-  std::vector<Word16> inputs;
-  std::vector<int> addresses;
-  std::vector<noc::SlopeBiasPair> captured;
-  std::vector<bool> have;
-  int captured_count = 0;
-
-  [[nodiscard]] bool complete() const {
-    return captured_count == static_cast<int>(inputs.size());
-  }
-};
-
-struct Wave {
-  std::vector<RouterWave> routers;
-  sim::Cycle issued_at = 0;
-
-  [[nodiscard]] bool complete() const {
-    return std::all_of(routers.begin(), routers.end(),
-                       [](const RouterWave& r) { return r.complete(); });
-  }
-};
-
-}  // namespace
 
 NovaVectorUnit::NovaVectorUnit(const NovaConfig& config) : config_(config) {
   NOVA_EXPECTS(config.routers >= 1);
@@ -54,145 +24,8 @@ MappingCheck NovaVectorUnit::mapping_check(
 ApproxResult NovaVectorUnit::approximate(
     const approx::PwlTable& table,
     const std::vector<std::vector<double>>& inputs) const {
-  NOVA_EXPECTS(static_cast<int>(inputs.size()) == config_.routers);
-
-  ApproxResult result;
-  result.outputs.resize(inputs.size());
-  for (std::size_t r = 0; r < inputs.size(); ++r) {
-    result.outputs[r].reserve(inputs[r].size());
-  }
-
-  const BroadcastSchedule schedule =
-      make_schedule(table, config_.pairs_per_flit);
-  const int m = schedule.noc_clock_multiplier;
-
-  // Physical SMART bypass depth, judged at the accelerator (lookup) clock:
-  // the repeated line is wave-pipelined, so consecutive flits of the train
-  // are in flight simultaneously and each must clear the line within the
-  // lookup (accelerator) cycle -- the criterion behind the paper's
-  // "10 routers at 1.5 GHz" bound and its 2-cycle latency for every
-  // Table II deployment. The m-times-faster NoC clock sequences launches;
-  // it does not shorten the combinational reach budget.
-  int hops_per_noc_cycle = config_.max_hops_per_cycle;
-  if (hops_per_noc_cycle <= 0) {
-    hops_per_noc_cycle =
-        std::max(1, hw::max_hops_per_cycle(hw::tech22(),
-                                           config_.accel_freq_mhz,
-                                           config_.spacing_mm));
-  }
-
-  sim::Engine engine;
-  const int accel_domain = engine.add_domain("accel", 1);
-  const int noc_domain = engine.add_domain("noc", m);
-
-  noc::LineNoc line(
-      noc::LineNocConfig{config_.routers, hops_per_noc_cycle},
-      &result.stats);
-
-  // --- Pipeline state ------------------------------------------------------
-  std::vector<std::size_t> cursor(inputs.size(), 0);
-  std::optional<Wave> lookup_wave;
-  std::optional<Wave> mac_wave;
-  sim::Cycle last_mac_cycle = 0;
-  bool any_mac_done = false;
-
-  auto all_inputs_consumed = [&] {
-    for (std::size_t r = 0; r < inputs.size(); ++r) {
-      if (cursor[r] < inputs[r].size()) return false;
-    }
-    return true;
-  };
-
-  line.set_observer([&](int router, const noc::Flit& flit, sim::Cycle) {
-    if (!lookup_wave.has_value()) return;
-    auto& rw = lookup_wave->routers[static_cast<std::size_t>(router)];
-    for (std::size_t i = 0; i < rw.addresses.size(); ++i) {
-      if (rw.have[i]) continue;
-      const int addr = rw.addresses[i];
-      if (schedule.tag_of(addr) != flit.tag()) continue;
-      rw.captured[i] = flit.pair(schedule.slot_of(addr));
-      rw.have[i] = true;
-      ++rw.captured_count;
-      result.stats.bump("unit.pair_captures");
-    }
-  });
-
-  // Accelerator-clock phase: MAC drain, capture->MAC move, wave issue.
-  engine.add_callback(accel_domain, [&](sim::Cycle now) {
-    // (a) A wave whose pairs are all captured enters the MAC stage.
-    if (!mac_wave.has_value() && lookup_wave.has_value() &&
-        lookup_wave->complete()) {
-      mac_wave = std::move(lookup_wave);
-      lookup_wave.reset();
-    }
-    // (b) The MAC stage executes: y = slope * x + bias per neuron.
-    if (mac_wave.has_value()) {
-      for (std::size_t r = 0; r < mac_wave->routers.size(); ++r) {
-        auto& rw = mac_wave->routers[r];
-        for (std::size_t i = 0; i < rw.inputs.size(); ++i) {
-          const Word16 y =
-              Word16::mac(rw.captured[i].slope, rw.inputs[i],
-                          rw.captured[i].bias);
-          result.outputs[r].push_back(y.to_double());
-          result.stats.bump("unit.mac_ops");
-        }
-      }
-      result.wave_latency_cycles =
-          static_cast<int>(now - mac_wave->issued_at) + 1;
-      last_mac_cycle = now;
-      any_mac_done = true;
-      mac_wave.reset();
-    }
-    // (c) Issue the next wave: comparators fire and the mapper launches the
-    // flit train (one flit per NoC cycle).
-    if (!lookup_wave.has_value() && !all_inputs_consumed()) {
-      Wave wave;
-      wave.issued_at = now;
-      wave.routers.resize(inputs.size());
-      for (std::size_t r = 0; r < inputs.size(); ++r) {
-        auto& rw = wave.routers[r];
-        const std::size_t take =
-            std::min(inputs[r].size() - cursor[r],
-                     static_cast<std::size_t>(config_.neurons_per_router));
-        rw.inputs.reserve(take);
-        rw.addresses.reserve(take);
-        for (std::size_t i = 0; i < take; ++i) {
-          const double x = inputs[r][cursor[r] + i];
-          const Word16 xq = Word16::from_double(x);
-          rw.inputs.push_back(xq);
-          rw.addresses.push_back(table.lookup_address(xq.to_double()));
-          result.stats.bump("unit.comparator_ops");
-        }
-        cursor[r] += take;
-        rw.captured.resize(take);
-        rw.have.assign(take, false);
-      }
-      lookup_wave = std::move(wave);
-      for (const auto& flit : schedule.flits) line.inject(flit);
-      result.stats.bump("unit.waves");
-    }
-  });
-  engine.add_component(noc_domain, line);
-
-  // Run until the pipeline drains. Guard bound: every wave needs at most
-  // (broadcast latency + 2) accelerator cycles even fully serialized.
-  std::size_t total_elems = 0;
-  for (const auto& stream : inputs) total_elems += stream.size();
-  const sim::Cycle guard =
-      16 + 4 * (static_cast<sim::Cycle>(total_elems) /
-                    std::max<std::size_t>(1, static_cast<std::size_t>(
-                                                 config_.neurons_per_router)) +
-                2) *
-               static_cast<sim::Cycle>(
-                   m + config_.routers / std::max(1, hops_per_noc_cycle) + 2);
-  while (!(all_inputs_consumed() && !lookup_wave.has_value() &&
-           !mac_wave.has_value() && line.idle())) {
-    NOVA_ASSERT(engine.cycles(accel_domain) < guard);
-    engine.run_base_cycles(1);
-  }
-  result.accel_cycles = any_mac_done ? last_mac_cycle + 1 : 0;
-  result.noc_cycles = engine.cycles(noc_domain);
-  return result;
+  SimSession session(config_, table, inputs);
+  return session.run();
 }
 
 }  // namespace nova::core

@@ -60,6 +60,10 @@ class NovaVectorUnit {
   /// inputs[r] holds the elements produced by the PEs attached to router r;
   /// streams may have different lengths. Each accelerator cycle every
   /// router consumes up to neurons_per_router elements (one wave).
+  ///
+  /// Reentrant: each call owns its state in a core::SimSession, so
+  /// independent approximate() calls (even on the same unit/table) may run
+  /// concurrently on a thread pool.
   [[nodiscard]] ApproxResult approximate(
       const approx::PwlTable& table,
       const std::vector<std::vector<double>>& inputs) const;

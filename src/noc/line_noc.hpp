@@ -49,8 +49,10 @@ class LineNoc final : public sim::Ticked {
   /// Advances all wavefronts one NoC cycle and starts the next queued flit.
   void tick(sim::Cycle now) override;
 
-  /// True when no flit is in flight or queued.
-  [[nodiscard]] bool idle() const {
+  /// True when no flit is in flight or queued. Doubles as the engine's
+  /// quiescence hook: an idle line stays idle until the next inject(), so
+  /// the engine may fast-forward across it.
+  [[nodiscard]] bool idle() const override {
     return in_flight_.empty() && inject_queue_.empty();
   }
 

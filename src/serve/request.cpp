@@ -1,0 +1,138 @@
+#include "serve/request.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/parse.hpp"
+#include "common/rng.hpp"
+#include "workload/bert.hpp"
+
+namespace nova::serve {
+
+std::vector<InferenceRequest> generate_poisson(int count,
+                                               const TrafficProfile& profile,
+                                               std::uint64_t seed) {
+  NOVA_EXPECTS(count >= 0);
+  NOVA_EXPECTS(profile.rate_rps > 0.0);
+  NOVA_EXPECTS(profile.breakpoints >= 2);
+  NOVA_EXPECTS(profile.base_seq_len >= 1);
+  NOVA_EXPECTS(!profile.workloads.empty());
+  NOVA_EXPECTS(!profile.functions.empty());
+
+  // Mixed sequence lengths around the baseline; the duplicated 1x weight
+  // keeps the nominal length dominant.
+  const double kSeqScales[] = {0.25, 0.5, 1.0, 1.0, 2.0};
+
+  Rng rng(seed);
+  std::vector<InferenceRequest> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  double clock_us = 0.0;
+  const double mean_gap_us = 1e6 / profile.rate_rps;
+  for (int id = 0; id < count; ++id) {
+    // Exponential inter-arrival gap: -ln(U) * mean, with U in (0, 1].
+    const double u = 1.0 - rng.next_double();
+    clock_us += -std::log(u) * mean_gap_us;
+
+    InferenceRequest req;
+    req.id = id;
+    req.arrival_us = clock_us;
+    req.workload = profile.workloads[static_cast<std::size_t>(
+        rng.next_below(profile.workloads.size()))];
+    req.function = profile.functions[static_cast<std::size_t>(
+        rng.next_below(profile.functions.size()))];
+    req.breakpoints = profile.breakpoints;
+    const double scale =
+        kSeqScales[static_cast<std::size_t>(rng.next_below(5))];
+    req.seq_len = std::max(
+        8, static_cast<int>(std::lround(profile.base_seq_len * scale)));
+    requests.push_back(req);
+  }
+  return requests;
+}
+
+bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
+                 std::string& error) {
+  out.clear();
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string arrival_text, workload_text, fn_text, seq_text, bp_text;
+    if (!std::getline(fields, arrival_text, ',') ||
+        !std::getline(fields, workload_text, ',') ||
+        !std::getline(fields, fn_text, ',') ||
+        !std::getline(fields, seq_text, ',') ||
+        !std::getline(fields, bp_text)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": expected 'arrival_us,workload,function,seq_len,breakpoints'";
+      return false;
+    }
+    const auto strip = [](std::string& s) {
+      const auto b = s.find_first_not_of(" \t\r");
+      const auto e = s.find_last_not_of(" \t\r");
+      s = b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    strip(arrival_text);
+    strip(workload_text);
+    strip(fn_text);
+    strip(seq_text);
+    strip(bp_text);
+
+    InferenceRequest req;
+    if (!parse_full(arrival_text, req.arrival_us) ||
+        !parse_full(seq_text, req.seq_len) ||
+        !parse_full(bp_text, req.breakpoints)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": malformed number in '" + line + "'";
+      return false;
+    }
+    req.workload = workload_text;
+    workload::BertConfig config;
+    if (!workload::by_name(workload_text, 8, config)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": unknown workload '" + workload_text + "'";
+      return false;
+    }
+    if (!approx::from_string(fn_text, req.function)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": unknown function '" + fn_text + "'";
+      return false;
+    }
+    // NaN/inf arrivals would poison the sort and every latency statistic.
+    if (!std::isfinite(req.arrival_us) || req.arrival_us < 0.0 ||
+        req.seq_len < 1 || req.breakpoints < 2) {
+      error = "trace line " + std::to_string(line_no) +
+              ": arrival must be finite and >= 0, seq_len >= 1, "
+              "breakpoints >= 2";
+      return false;
+    }
+    out.push_back(req);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const InferenceRequest& a, const InferenceRequest& b) {
+                     return a.arrival_us < b.arrival_us;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].id = static_cast<int>(i);
+  }
+  return true;
+}
+
+bool load_trace(const std::string& path, std::vector<InferenceRequest>& out,
+                std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open trace file '" + path + "'";
+    return false;
+  }
+  return parse_trace(in, out, error);
+}
+
+}  // namespace nova::serve

@@ -1,0 +1,78 @@
+// Inference requests for the serving layer: what arrives, when, and the
+// synthetic (Poisson) and replayed (trace) arrival processes that produce
+// request streams for the BatchScheduler.
+//
+// NOVA's unit of service is the non-linear side of one model inference: a
+// request names the transformer workload (which fixes the softmax / GELU /
+// layernorm element-operation volume at its sequence length), the operator
+// whose PWL table the batch shares on the wire, and the table resolution --
+// everything the cycle-accurate pricing pass needs to cost the request in
+// accelerator cycles.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "approx/functions.hpp"
+
+namespace nova::serve {
+
+/// One inference request against a served NOVA instance pool.
+struct InferenceRequest {
+  int id = 0;
+  /// Simulated arrival time, microseconds since serving start.
+  double arrival_us = 0.0;
+  /// Benchmark whose non-linear op volume this request carries
+  /// (workload::by_name names, e.g. "bert-tiny").
+  std::string workload = "bert-tiny";
+  /// Sequence length of the inference (scales the op volume).
+  int seq_len = 128;
+  /// Dominant non-linear operator; requests batch only with requests
+  /// sharing this function's broadcast table.
+  approx::NonLinearFn function = approx::NonLinearFn::kGelu;
+  /// PWL segments per lookup (fixes the flit-train length / NoC clock).
+  int breakpoints = 16;
+};
+
+/// Shape of the synthetic open-loop traffic the Poisson generator emits.
+struct TrafficProfile {
+  /// Mean arrival rate, requests per second of simulated time.
+  double rate_rps = 500000.0;
+  /// PWL resolution shared by all generated requests (keeps the table
+  /// training set small; traces may mix resolutions freely).
+  int breakpoints = 16;
+  /// Baseline sequence length; requests draw from {1/4, 1/2, 1, 1, 2} x
+  /// this (clamped to >= 8) to model mixed sequence lengths.
+  int base_seq_len = 128;
+  /// Workload mix, sampled uniformly. Empty profiles are invalid.
+  std::vector<std::string> workloads = {"bert-tiny", "bert-mini",
+                                        "mobilebert-tiny"};
+  /// Operator mix, sampled uniformly. Empty profiles are invalid.
+  std::vector<approx::NonLinearFn> functions = {
+      approx::NonLinearFn::kGelu, approx::NonLinearFn::kExp,
+      approx::NonLinearFn::kTanh, approx::NonLinearFn::kSigmoid};
+};
+
+/// Generates `count` requests with exponential inter-arrival gaps (a
+/// Poisson process at profile.rate_rps), deterministic from `seed`.
+/// Requests come back sorted by arrival time with ids 0..count-1.
+[[nodiscard]] std::vector<InferenceRequest> generate_poisson(
+    int count, const TrafficProfile& profile, std::uint64_t seed);
+
+/// Parses a request trace: one request per line,
+/// `arrival_us,workload,function,seq_len,breakpoints`, with `#` comments
+/// and blank lines ignored. Returns false and fills `error` on malformed
+/// input. Requests are re-sorted by arrival time and re-numbered in that
+/// order.
+[[nodiscard]] bool parse_trace(std::istream& in,
+                               std::vector<InferenceRequest>& out,
+                               std::string& error);
+
+/// parse_trace over the contents of `path`.
+[[nodiscard]] bool load_trace(const std::string& path,
+                              std::vector<InferenceRequest>& out,
+                              std::string& error);
+
+}  // namespace nova::serve

@@ -1,0 +1,284 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "approx/mlp_fitter.hpp"
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "core/sim_session.hpp"
+#include "workload/bert.hpp"
+
+namespace nova::serve {
+
+namespace {
+
+/// Input-synthesis seed for one request shape: FNV-1a over the shape
+/// fields mixed with the base seed, so an identical shape prices from
+/// identical inputs in every stream, regardless of what other requests
+/// ride along.
+std::uint64_t shape_seed(std::uint64_t base, const std::string& workload,
+                         int seq_len, approx::NonLinearFn function,
+                         int breakpoints) {
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ base;
+  const auto mix = [&h](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (value >> (8 * byte)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  for (const char c : workload) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  mix(static_cast<std::uint64_t>(seq_len));
+  mix(static_cast<std::uint64_t>(function));
+  mix(static_cast<std::uint64_t>(breakpoints));
+  return h;
+}
+
+}  // namespace
+
+double ServeReport::latency_percentile_us(double p) const {
+  const auto* hist = stats.find_histogram("serve.latency_us");
+  return hist == nullptr ? 0.0 : hist->percentile(p);
+}
+
+BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
+  NOVA_EXPECTS(config.instances >= 1);
+  NOVA_EXPECTS(config.threads >= 1);
+  NOVA_EXPECTS(config.max_batch >= 1);
+  NOVA_EXPECTS(config.sim_elements_cap >= 1);
+  NOVA_EXPECTS(config.nova.accel_freq_mhz > 0.0);
+}
+
+void BatchScheduler::price_requests(
+    const std::vector<InferenceRequest>& requests,
+    std::vector<RequestOutcome>& outcomes) const {
+  auto& library = approx::PwlLibrary::instance();
+
+  // NOVA's service time is input-independent (a wave completes when the
+  // full tagged flit train has broadcast, regardless of the data values),
+  // so pricing is memoized per distinct (workload, seq_len, function,
+  // breakpoints) tuple; the worker pool runs the distinct cycle-accurate
+  // simulations concurrently.
+  struct Priced {
+    std::int64_t approx_ops = 0;
+    double service_cycles = 0.0;
+    int wave_latency_cycles = 0;
+  };
+  using Key = std::tuple<std::string, int, approx::NonLinearFn, int>;
+  std::map<Key, std::vector<int>> groups;
+  for (const auto& req : requests) {
+    groups[Key{req.workload, req.seq_len, req.function, req.breakpoints}]
+        .push_back(req.id);
+  }
+  std::vector<const std::pair<const Key, std::vector<int>>*> distinct;
+  distinct.reserve(groups.size());
+  for (const auto& group : groups) distinct.push_back(&group);
+
+  // Pre-warm every PWL table the stream needs on this thread: training is
+  // expensive and PwlLibrary::get serializes it, so warming first keeps
+  // the workers out of each other's way (and out of the training path
+  // entirely). One call per distinct shape, not per request.
+  for (const auto* group : distinct) {
+    (void)library.get(std::get<2>(group->first), std::get<3>(group->first));
+  }
+
+  std::vector<Priced> priced(distinct.size());
+
+  const auto price_tuple = [this, &library, &distinct,
+                            &priced](std::size_t tuple_index) {
+    const auto& [key, ids] = *distinct[tuple_index];
+    const auto& [workload_name, seq_len, function, breakpoints] = key;
+    const auto& table = library.get(function, breakpoints);
+    const auto domain = table.domain();
+
+    // The request's work: the non-linear element operations of one
+    // inference of its workload, spread evenly over the routers.
+    workload::BertConfig model;
+    const bool known = workload::by_name(workload_name, seq_len, model);
+    NOVA_EXPECTS(known);
+    const std::int64_t total_ops =
+        workload::model_workload(model).nonlinear.total_approx_ops();
+    const std::int64_t per_router =
+        (total_ops + config_.nova.routers - 1) / config_.nova.routers;
+    const std::int64_t simulated =
+        std::min<std::int64_t>(per_router, config_.sim_elements_cap);
+
+    Rng rng(shape_seed(config_.seed, workload_name, seq_len, function,
+                       breakpoints));
+    std::vector<std::vector<double>> inputs(
+        static_cast<std::size_t>(config_.nova.routers));
+    for (auto& stream : inputs) {
+      stream.reserve(static_cast<std::size_t>(simulated));
+      for (std::int64_t i = 0; i < simulated; ++i) {
+        stream.push_back(rng.uniform(domain.lo, domain.hi));
+      }
+    }
+    core::SimSession session(config_.nova, table, inputs);
+    const auto result = session.run();
+
+    // Steady-state extrapolation for the unsimulated tail: once the
+    // two-stage pipeline is filled, waves retire at a constant per-wave
+    // rate, measured here net of the fill latency.
+    double cycles = static_cast<double>(result.accel_cycles);
+    if (per_router > simulated) {
+      const auto waves_sim =
+          static_cast<double>(result.stats.counter("unit.waves"));
+      const double fill =
+          static_cast<double>(result.wave_latency_cycles - 1);
+      const double per_wave =
+          waves_sim > 1.0 ? (cycles - 1.0 - fill) / (waves_sim - 1.0)
+                          : cycles;
+      const double neurons =
+          static_cast<double>(config_.nova.neurons_per_router);
+      const double extra_waves = std::ceil(
+          static_cast<double>(per_router - simulated) / neurons);
+      cycles += extra_waves * per_wave;
+    }
+
+    priced[tuple_index] = Priced{total_ops, cycles,
+                                 result.wave_latency_cycles};
+  };
+
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(config_.threads), distinct.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < distinct.size(); ++i) price_tuple(i);
+  } else {
+    // Each worker claims tuples off a shared counter; results land in
+    // per-tuple slots, so the interleaving cannot affect the outcome.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < distinct.size();
+             i = next.fetch_add(1)) {
+          price_tuple(i);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+  }
+
+  for (std::size_t t = 0; t < distinct.size(); ++t) {
+    for (const int id : distinct[t]->second) {
+      auto& outcome = outcomes[static_cast<std::size_t>(id)];
+      outcome.request = requests[static_cast<std::size_t>(id)];
+      outcome.approx_ops = priced[t].approx_ops;
+      outcome.service_cycles =
+          static_cast<sim::Cycle>(std::llround(priced[t].service_cycles));
+      outcome.wave_latency_cycles = priced[t].wave_latency_cycles;
+      outcome.service_us =
+          priced[t].service_cycles / config_.nova.accel_freq_mhz;
+    }
+  }
+}
+
+ServeReport BatchScheduler::run(
+    const std::vector<InferenceRequest>& requests) const {
+  ServeReport report;
+  report.outcomes.resize(requests.size());
+  report.instances.resize(static_cast<std::size_t>(config_.instances));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    NOVA_EXPECTS(requests[i].id == static_cast<int>(i));
+    NOVA_EXPECTS(i == 0 ||
+                 requests[i - 1].arrival_us <= requests[i].arrival_us);
+  }
+  if (requests.empty()) return report;
+
+  // Phase 1: price every request with the cycle-accurate simulator.
+  price_requests(requests, report.outcomes);
+
+  // Phase 2: deterministic event-driven dispatch.
+  std::vector<double> free_at(static_cast<std::size_t>(config_.instances),
+                              0.0);
+  auto& latency_hist = report.stats.histogram("serve.latency_us");
+  auto& batch_hist = report.stats.histogram("serve.batch_size");
+  const double cycle_us = 1.0 / config_.nova.accel_freq_mhz;
+
+  std::size_t queue_head = 0;
+  int batch_id = 0;
+  double last_finish = 0.0;
+  while (queue_head < requests.size()) {
+    // Earliest-free instance takes the next dispatch (ties: lowest index).
+    std::size_t instance = 0;
+    for (std::size_t j = 1; j < free_at.size(); ++j) {
+      if (free_at[j] < free_at[instance]) instance = j;
+    }
+    const auto& head = requests[queue_head];
+    const double start = std::max(free_at[instance], head.arrival_us);
+
+    // Fuse the FIFO run of already-arrived requests sharing head's PWL
+    // table, up to max_batch.
+    std::size_t batch_end = queue_head + 1;
+    while (batch_end < requests.size() &&
+           batch_end - queue_head <
+               static_cast<std::size_t>(config_.max_batch) &&
+           requests[batch_end].arrival_us <= start &&
+           requests[batch_end].function == head.function &&
+           requests[batch_end].breakpoints == head.breakpoints) {
+      ++batch_end;
+    }
+    const int batch_size = static_cast<int>(batch_end - queue_head);
+
+    // Batch service = sum of standalone costs minus the pipeline-overlap
+    // credit: fused members reuse the in-flight broadcast train, so every
+    // member after the first saves the pipeline fill of its first wave
+    // (wave_latency - 1 accelerator cycles).
+    double service_us = 0.0;
+    for (std::size_t k = queue_head; k < batch_end; ++k) {
+      const auto& outcome = report.outcomes[k];
+      service_us += outcome.service_us;
+      if (k != queue_head) {
+        service_us -=
+            std::max(0, outcome.wave_latency_cycles - 1) * cycle_us;
+      }
+    }
+    service_us = std::max(service_us, cycle_us);
+    const double finish = start + service_us;
+
+    for (std::size_t k = queue_head; k < batch_end; ++k) {
+      auto& outcome = report.outcomes[k];
+      outcome.instance = static_cast<int>(instance);
+      outcome.batch_id = batch_id;
+      outcome.batch_size = batch_size;
+      outcome.start_us = start;
+      outcome.finish_us = finish;
+    }
+    auto& inst = report.instances[instance];
+    inst.requests += batch_size;
+    inst.batches += 1;
+    inst.busy_us += service_us;
+    batch_hist.record(static_cast<double>(batch_size));
+    report.stats.bump("serve.batches");
+    report.stats.bump("serve.requests", static_cast<std::uint64_t>(batch_size));
+
+    free_at[instance] = finish;
+    last_finish = std::max(last_finish, finish);
+    queue_head = batch_end;
+    ++batch_id;
+  }
+
+  // Aggregates: latencies recorded in request order for determinism.
+  for (const auto& outcome : report.outcomes) {
+    latency_hist.record(outcome.latency_us());
+    report.stats.sample("serve.service_us", outcome.service_us);
+    report.stats.sample("serve.queue_us", outcome.queue_us());
+  }
+  report.makespan_us = last_finish - requests.front().arrival_us;
+  report.throughput_rps =
+      report.makespan_us > 0.0
+          ? static_cast<double>(requests.size()) * 1e6 / report.makespan_us
+          : 0.0;
+  return report;
+}
+
+}  // namespace nova::serve

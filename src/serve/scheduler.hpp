@@ -1,0 +1,123 @@
+// BatchScheduler: packs a stream of inference requests onto a pool of
+// simulated NOVA accelerator instances and reports end-to-end latency
+// percentiles and throughput.
+//
+// Two-phase design, so the outcome is bit-identical for any worker-thread
+// count:
+//
+//   1. Pricing (parallel): every request carries the non-linear
+//      element-operation volume of one inference of its workload at its
+//      sequence length (workload::model_workload). Up to sim_elements_cap
+//      elements per router are run through the cycle-accurate
+//      core::SimSession over inputs synthesized deterministically from
+//      (config.seed, request shape); longer streams extrapolate at the run's
+//      measured steady-state wave rate (the pipeline issues waves at a
+//      constant rate once filled, so the extension is tight). Requests are
+//      independent, so the worker pool shares nothing but the read-only
+//      PWL tables (pre-warmed before fan-out; PwlLibrary::get is
+//      additionally mutex-guarded).
+//
+//   2. Dispatch (serial, deterministic): an event-driven loop assigns
+//      requests FIFO to the earliest-free instance. When an instance picks
+//      up work it fuses up to max_batch already-arrived consecutive
+//      requests that share a PWL table (function + breakpoints) into one
+//      dispatch: fused waves reuse the broadcast flit train back-to-back,
+//      so each extra member saves the pipeline-fill latency of its first
+//      wave (the overlap credit below).
+//
+// All times are simulated microseconds; the accelerator clock converts the
+// SimSession's cycle counts (config.nova.accel_freq_mhz cycles per us).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vector_unit.hpp"
+#include "serve/request.hpp"
+#include "sim/stats.hpp"
+
+namespace nova::serve {
+
+/// Deployment of the serving pool.
+struct ServeConfig {
+  /// Hardware configuration of every instance in the pool.
+  core::NovaConfig nova;
+  /// Simulated accelerator instances served by the pool.
+  int instances = 1;
+  /// Worker threads pricing requests in phase 1 (does not affect results).
+  int threads = 1;
+  /// Max requests fused into one instance dispatch; 1 disables batching.
+  int max_batch = 8;
+  /// Seed for per-request input synthesis.
+  std::uint64_t seed = 42;
+  /// Elements per router simulated cycle-accurately when pricing one
+  /// request; the remainder of the stream extrapolates at the measured
+  /// steady-state rate.
+  int sim_elements_cap = 8192;
+};
+
+/// Where and when one request was served.
+struct RequestOutcome {
+  InferenceRequest request;
+  int instance = -1;
+  int batch_id = -1;
+  int batch_size = 1;
+  /// Non-linear element operations one inference of this request costs.
+  std::int64_t approx_ops = 0;
+  /// Standalone service cost from the cycle-accurate pricing run
+  /// (steady-state-extrapolated past sim_elements_cap).
+  sim::Cycle service_cycles = 0;
+  int wave_latency_cycles = 0;
+  double service_us = 0.0;
+  double start_us = 0.0;   ///< dispatch time of the containing batch
+  double finish_us = 0.0;  ///< completion of the containing batch
+
+  [[nodiscard]] double latency_us() const {
+    return finish_us - request.arrival_us;
+  }
+  [[nodiscard]] double queue_us() const {
+    return start_us - request.arrival_us;
+  }
+};
+
+/// Per-instance utilization accounting.
+struct InstanceStats {
+  int requests = 0;
+  int batches = 0;
+  double busy_us = 0.0;
+};
+
+/// The full serving run: per-request outcomes plus aggregates.
+struct ServeReport {
+  /// Outcomes indexed by request id (= arrival order).
+  std::vector<RequestOutcome> outcomes;
+  std::vector<InstanceStats> instances;
+  /// Aggregates; latency percentiles live in the "serve.latency_us"
+  /// histogram, batch sizes in "serve.batch_size".
+  sim::StatRegistry stats;
+  /// First arrival to last completion.
+  double makespan_us = 0.0;
+  double throughput_rps = 0.0;
+
+  [[nodiscard]] double latency_percentile_us(double p) const;
+};
+
+/// Deterministic request-to-instance packing over a worker pool.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(const ServeConfig& config);
+
+  /// Serves `requests` (must be sorted by arrival_us, ids 0..n-1 -- the
+  /// generators guarantee this). Identical inputs give identical reports
+  /// for every config.threads value.
+  [[nodiscard]] ServeReport run(
+      const std::vector<InferenceRequest>& requests) const;
+
+ private:
+  void price_requests(const std::vector<InferenceRequest>& requests,
+                      std::vector<RequestOutcome>& outcomes) const;
+
+  ServeConfig config_;
+};
+
+}  // namespace nova::serve

@@ -6,57 +6,122 @@ namespace nova::sim {
 
 int Engine::add_domain(std::string name, int multiplier) {
   NOVA_EXPECTS(multiplier >= 1);
-  domains_.push_back(ClockDomain{std::move(name), multiplier});
-  return static_cast<int>(domains_.size()) - 1;
+  // Eager consistency check: with this domain added, every multiplier must
+  // divide the fastest one. Validating here (instead of lazily in step())
+  // means cycles() can never silently truncate a non-integral ratio on an
+  // engine that was never stepped.
+  const int fastest = std::max(fastest_multiplier_, multiplier);
+  NOVA_EXPECTS(fastest % multiplier == 0);
+  for (const auto& bucket : buckets_) {
+    NOVA_EXPECTS(fastest % bucket.domain.multiplier == 0);
+  }
+  buckets_.push_back(Bucket{ClockDomain{std::move(name), multiplier}, 1, {}});
+  // The fastest multiplier may have changed; refresh every cached ratio.
+  fastest_multiplier_ = fastest;
+  for (auto& bucket : buckets_) {
+    bucket.ratio =
+        static_cast<Cycle>(fastest_multiplier_ / bucket.domain.multiplier);
+  }
+  return static_cast<int>(buckets_.size()) - 1;
 }
 
 void Engine::add_component(int domain_id, Ticked& component) {
   NOVA_EXPECTS(domain_id >= 0 && domain_id < domain_count());
-  slots_.push_back(Slot{domain_id, &component, {}});
+  buckets_[static_cast<std::size_t>(domain_id)].slots.push_back(
+      Slot{&component, {}, {}, next_seq_++});
 }
 
-void Engine::add_callback(int domain_id, std::function<void(Cycle)> fn) {
+void Engine::add_callback(int domain_id, std::function<void(Cycle)> fn,
+                          std::function<bool()> idle) {
   NOVA_EXPECTS(domain_id >= 0 && domain_id < domain_count());
   NOVA_EXPECTS(fn != nullptr);
-  slots_.push_back(Slot{domain_id, nullptr, std::move(fn)});
-}
-
-int Engine::fastest_multiplier() const {
-  int fastest = 1;
-  for (const auto& d : domains_) fastest = std::max(fastest, d.multiplier);
-  return fastest;
+  buckets_[static_cast<std::size_t>(domain_id)].slots.push_back(
+      Slot{nullptr, std::move(fn), std::move(idle), next_seq_++});
 }
 
 Cycle Engine::cycles(int domain_id) const {
   NOVA_EXPECTS(domain_id >= 0 && domain_id < domain_count());
-  const int fastest = fastest_multiplier();
-  const int ratio = fastest / domains_[static_cast<std::size_t>(domain_id)].multiplier;
-  return fast_ticks_ / static_cast<Cycle>(ratio);
+  return fast_ticks_ / buckets_[static_cast<std::size_t>(domain_id)].ratio;
+}
+
+bool Engine::idle() const {
+  for (const auto& bucket : buckets_) {
+    for (const auto& slot : bucket.slots) {
+      if (!slot.is_idle()) return false;
+    }
+  }
+  return true;
 }
 
 void Engine::step() {
-  const int fastest = fastest_multiplier();
-  for (auto& slot : slots_) {
-    const auto& dom = domains_[static_cast<std::size_t>(slot.domain_id)];
-    // A domain with multiplier m fires on every (fastest/m)-th fast tick.
-    // Multipliers are required to divide the fastest multiplier; this is
-    // checked lazily here so domains can be added in any order.
-    NOVA_ASSERT(fastest % dom.multiplier == 0);
-    const Cycle ratio = static_cast<Cycle>(fastest / dom.multiplier);
-    if (fast_ticks_ % ratio != 0) continue;
-    const Cycle domain_now = fast_ticks_ / ratio;
-    if (slot.component != nullptr) {
-      slot.component->tick(domain_now);
-    } else {
-      slot.callback(domain_now);
+  // Gather the domains due this tick; only their buckets are visited.
+  firing_.clear();
+  for (int d = 0; d < domain_count(); ++d) {
+    const auto& bucket = buckets_[static_cast<std::size_t>(d)];
+    if (!bucket.slots.empty() && fast_ticks_ % bucket.ratio == 0) {
+      firing_.push_back(d);
+    }
+  }
+  if (firing_.size() == 1) {
+    // Common case (off-phase tick of the fast domain): one bucket, already
+    // in registration order.
+    auto& bucket = buckets_[static_cast<std::size_t>(firing_.front())];
+    const Cycle domain_now = fast_ticks_ / bucket.ratio;
+    for (const auto& slot : bucket.slots) slot.fire(domain_now);
+  } else if (!firing_.empty()) {
+    // Several domains fire together: merge their buckets back into global
+    // registration order (each bucket is already seq-sorted).
+    merge_pos_.assign(firing_.size(), 0);
+    for (;;) {
+      int best = -1;
+      std::uint64_t best_seq = 0;
+      for (std::size_t k = 0; k < firing_.size(); ++k) {
+        const auto& bucket =
+            buckets_[static_cast<std::size_t>(firing_[k])];
+        if (merge_pos_[k] >= bucket.slots.size()) continue;
+        const std::uint64_t seq = bucket.slots[merge_pos_[k]].seq;
+        if (best < 0 || seq < best_seq) {
+          best = static_cast<int>(k);
+          best_seq = seq;
+        }
+      }
+      if (best < 0) break;
+      auto& bucket =
+          buckets_[static_cast<std::size_t>(firing_[static_cast<std::size_t>(
+              best)])];
+      const Cycle domain_now = fast_ticks_ / bucket.ratio;
+      bucket.slots[merge_pos_[static_cast<std::size_t>(best)]++].fire(
+          domain_now);
     }
   }
   ++fast_ticks_;
 }
 
 void Engine::run_base_cycles(Cycle base_cycles) {
-  const Cycle ticks = base_cycles * static_cast<Cycle>(fastest_multiplier());
-  for (Cycle i = 0; i < ticks; ++i) step();
+  // Quiescence is probed once per base cycle, not per fast tick: the
+  // O(slots) idle() scan must not reintroduce the per-tick O(components)
+  // cost the bucketed dispatch removed.
+  const Cycle fastest = static_cast<Cycle>(fastest_multiplier_);
+  for (Cycle base = 0; base < base_cycles; ++base) {
+    if (idle()) {
+      // Quiescent components stay quiescent until external code mutates
+      // them, which cannot happen inside this call: skip the span.
+      fast_ticks_ += (base_cycles - base) * fastest;
+      return;
+    }
+    for (Cycle i = 0; i < fastest; ++i) step();
+  }
+}
+
+Cycle Engine::run_until_idle(Cycle max_base_cycles) {
+  // Quiescence is checked at base-cycle boundaries so the clock domains stay
+  // phase-aligned for the caller's next run.
+  const Cycle fastest = static_cast<Cycle>(fastest_multiplier_);
+  for (Cycle base = 0; base < max_base_cycles; ++base) {
+    if (idle()) return base;
+    for (Cycle i = 0; i < fastest; ++i) step();
+  }
+  return max_base_cycles;
 }
 
 }  // namespace nova::sim

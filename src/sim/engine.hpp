@@ -7,6 +7,23 @@
 // fastest domain; a component clocked in domain D fires once every
 // (fastest_multiplier / D.multiplier) ticks.
 //
+// Scheduling: components are held in per-domain buckets, so a tick only
+// visits the domains due to fire instead of scanning every registered
+// component (the pre-refactor dense dispatch burned O(components) work per
+// fast tick even when most domains were off-phase). When several domains
+// fire in the same tick their components are merged back into global
+// registration order, preserving the original determinism contract.
+//
+// Idle fast-forward: a component may advertise quiescence (Ticked::idle(),
+// or the optional predicate passed to add_callback). Quiescent means "my
+// tick() is a no-op now and at every future cycle until external code
+// mutates my state" -- e.g. LineNoc::idle() when no flit is in flight or
+// queued. When every registered component is quiescent, run_base_cycles()
+// advances the clocks arithmetically instead of stepping tick by tick,
+// which makes idle-heavy simulations (serving gaps, drained pipelines)
+// nearly free. Components that fire on wall-clock conditions ("inject at
+// cycle 100") must simply not advertise idleness, which is the default.
+//
 // Determinism: components fire in registration order within a tick, with all
 // combinational propagation handled inside each component's tick(). This is
 // a two-phase (compute/commit) discipline: components read inputs latched in
@@ -38,6 +55,11 @@ class Ticked {
   /// Called once per owning-domain cycle. `now` is the domain-local cycle
   /// count (starts at 0).
   virtual void tick(Cycle now) = 0;
+  /// Quiescence hook for the engine's idle fast-forward. Return true only
+  /// when tick() is a no-op at the current and every future cycle until
+  /// external code mutates this component (e.g. a new flit is injected).
+  /// The default is "never idle", which is always safe.
+  [[nodiscard]] virtual bool idle() const { return false; }
 };
 
 /// Deterministic multi-rate cycle engine.
@@ -47,21 +69,40 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Registers a clock domain; returns its id. Multipliers must be >= 1.
+  /// Registers a clock domain; returns its id. Multipliers must be >= 1,
+  /// and the domain set must stay consistent at every registration: each
+  /// multiplier must divide the fastest registered multiplier (checked
+  /// eagerly here, so a bad ratio fails at registration with the offending
+  /// name rather than deep inside a run). Register faster domains first
+  /// when mixing multipliers that are not multiples of each other.
   int add_domain(std::string name, int multiplier);
 
   /// Registers a component (non-owning) in the given domain. Components fire
-  /// in registration order within each tick.
+  /// in registration order within each tick, across domains. The component's
+  /// idle() drives the fast-forward path.
   void add_component(int domain_id, Ticked& component);
 
   /// Convenience: registers a callback instead of a Ticked object.
-  void add_callback(int domain_id, std::function<void(Cycle)> fn);
+  /// `idle` (optional) is the quiescence hook; a null predicate means the
+  /// callback never advertises idleness and so always inhibits fast-forward.
+  void add_callback(int domain_id, std::function<void(Cycle)> fn,
+                    std::function<bool()> idle = nullptr);
 
   /// Runs `base_cycles` cycles of the *base* (multiplier-1) clock.
+  /// Quiescence is probed at base-cycle boundaries; once every component
+  /// reports idle the remaining span is skipped in O(1).
   void run_base_cycles(Cycle base_cycles);
+
+  /// Steps until every component is quiescent, at most `max_base_cycles`
+  /// base cycles. Returns the number of base cycles consumed.
+  Cycle run_until_idle(Cycle max_base_cycles);
 
   /// Runs a single tick of the fastest clock.
   void step();
+
+  /// True when every registered component is quiescent (an engine with no
+  /// components is idle).
+  [[nodiscard]] bool idle() const;
 
   /// Elapsed cycles of the given domain since construction.
   [[nodiscard]] Cycle cycles(int domain_id) const;
@@ -70,21 +111,48 @@ class Engine {
   [[nodiscard]] Cycle fast_ticks() const { return fast_ticks_; }
 
   [[nodiscard]] int domain_count() const {
-    return static_cast<int>(domains_.size());
+    return static_cast<int>(buckets_.size());
   }
+
+  /// Fastest registered multiplier (1 for an empty engine); cached, never
+  /// recomputed on the tick path.
+  [[nodiscard]] int fastest_multiplier() const { return fastest_multiplier_; }
 
  private:
   struct Slot {
-    int domain_id = 0;
-    Ticked* component = nullptr;              // non-owning
-    std::function<void(Cycle)> callback;      // used when component == nullptr
+    Ticked* component = nullptr;          // non-owning
+    std::function<void(Cycle)> callback;  // used when component == nullptr
+    std::function<bool()> idle_fn;        // callback quiescence hook
+    std::uint64_t seq = 0;                // global registration order
+
+    [[nodiscard]] bool is_idle() const {
+      if (component != nullptr) return component->idle();
+      return idle_fn != nullptr && idle_fn();
+    }
+    void fire(Cycle domain_now) const {
+      if (component != nullptr) {
+        component->tick(domain_now);
+      } else {
+        callback(domain_now);
+      }
+    }
   };
 
-  [[nodiscard]] int fastest_multiplier() const;
+  /// One schedule bucket per clock domain.
+  struct Bucket {
+    ClockDomain domain;
+    Cycle ratio = 1;  ///< fastest_multiplier_ / domain.multiplier
+    std::vector<Slot> slots;
+  };
 
-  std::vector<ClockDomain> domains_;
-  std::vector<Slot> slots_;
+  std::vector<Bucket> buckets_;
+  int fastest_multiplier_ = 1;
   Cycle fast_ticks_ = 0;
+  std::uint64_t next_seq_ = 0;
+  /// Scratch for step(): ids of the domains firing this tick (member to
+  /// avoid per-tick allocation).
+  std::vector<int> firing_;
+  std::vector<std::size_t> merge_pos_;
 };
 
 }  // namespace nova::sim

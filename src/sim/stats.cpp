@@ -1,6 +1,55 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
 namespace nova::sim {
+
+void Histogram::record(double value) {
+  samples_.push_back(value);
+  sum_ += value;
+  sorted_ = samples_.size() <= 1;
+}
+
+double Histogram::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.front();
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.back();
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double p) const {
+  NOVA_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it.
+  const auto n = samples_.size();
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(n));
+  const std::size_t index = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return samples_[std::min(index, n - 1)];
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_ = true;
+  sum_ = 0.0;
+}
 
 void StatRegistry::bump(const std::string& name, std::uint64_t delta) {
   counters_[name] += delta;
@@ -10,6 +59,15 @@ void StatRegistry::sample(const std::string& name, double value) {
   auto& acc = accumulators_[name];
   acc.sum += value;
   acc.n += 1;
+}
+
+Histogram& StatRegistry::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+const Histogram* StatRegistry::find_histogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
 }
 
 std::uint64_t StatRegistry::counter(const std::string& name) const {
@@ -36,6 +94,7 @@ double StatRegistry::mean(const std::string& name) const {
 void StatRegistry::clear() {
   counters_.clear();
   accumulators_.clear();
+  histograms_.clear();
 }
 
 Table StatRegistry::to_table(const std::string& title) const {
@@ -47,6 +106,13 @@ Table StatRegistry::to_table(const std::string& title) const {
   for (const auto& [name, acc] : accumulators_) {
     t.add_row({name + " (mean)", Table::num(mean(name), 4),
                std::to_string(acc.n)});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string n = std::to_string(hist.count());
+    t.add_row({name + " (p50)", Table::num(hist.percentile(50.0), 4), n});
+    t.add_row({name + " (p95)", Table::num(hist.percentile(95.0), 4), n});
+    t.add_row({name + " (p99)", Table::num(hist.percentile(99.0), 4), n});
+    t.add_row({name + " (max)", Table::num(hist.max(), 4), n});
   }
   return t;
 }

@@ -4,14 +4,44 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 
 namespace nova::sim {
 
-/// A registry of named counters (monotonic) and accumulators (sum + count,
-/// for means). Lookup by name creates on first use so instrumentation sites
-/// stay one-liners.
+/// A sample distribution with percentile queries: the latency-recording
+/// primitive of the serving layer. Stores raw samples (the populations
+/// here -- request latencies, batch sizes -- are bounded by request count,
+/// so exact percentiles are affordable and reproducible).
+class Histogram {
+ public:
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return static_cast<std::uint64_t>(samples_.size());
+  }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Nearest-rank percentile, `p` in [0, 100]. Returns 0.0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  void clear();
+
+ private:
+  /// Kept sorted lazily: percentile() sorts on demand and record() marks
+  /// the order dirty.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+/// A registry of named counters (monotonic), accumulators (sum + count,
+/// for means), and histograms (distributions with percentiles). Lookup by
+/// name creates on first use so instrumentation sites stay one-liners.
 class StatRegistry {
  public:
   /// Increments counter `name` by `delta`.
@@ -20,6 +50,12 @@ class StatRegistry {
   /// Adds a sample to accumulator `name`.
   void sample(const std::string& name, double value);
 
+  /// Returns histogram `name`, creating it on first use.
+  Histogram& histogram(const std::string& name);
+  /// Read-only lookup; null when no such histogram was recorded.
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const;
+
   [[nodiscard]] std::uint64_t counter(const std::string& name) const;
   [[nodiscard]] double mean(const std::string& name) const;
   [[nodiscard]] double sum(const std::string& name) const;
@@ -27,7 +63,8 @@ class StatRegistry {
 
   void clear();
 
-  /// Renders all statistics as a two/three-column table.
+  /// Renders all statistics as a two/three-column table; histograms expand
+  /// into p50/p95/p99/max rows.
   [[nodiscard]] Table to_table(const std::string& title = "statistics") const;
 
  private:
@@ -37,6 +74,7 @@ class StatRegistry {
   };
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, Acc> accumulators_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace nova::sim

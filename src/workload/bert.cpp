@@ -36,6 +36,23 @@ std::vector<BertConfig> paper_benchmarks(int seq_len) {
           roberta_base(seq_len), bert_tiny(seq_len), bert_mini(seq_len)};
 }
 
+bool by_name(const std::string& name, int seq_len, BertConfig& out) {
+  if (name == "bert-tiny") {
+    out = bert_tiny(seq_len);
+  } else if (name == "bert-mini") {
+    out = bert_mini(seq_len);
+  } else if (name == "roberta" || name == "roberta-base") {
+    out = roberta_base(seq_len);
+  } else if (name == "mobilebert" || name == "mobilebert-base") {
+    out = mobilebert_base(seq_len);
+  } else if (name == "mobilebert-tiny") {
+    out = mobilebert_tiny(seq_len);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 ModelWorkload model_workload(const BertConfig& config) {
   NOVA_EXPECTS(config.layers >= 1);
   NOVA_EXPECTS(config.hidden % config.heads == 0);

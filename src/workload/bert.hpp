@@ -35,6 +35,12 @@ struct BertConfig {
 /// All five, in the paper's Fig 8 order.
 [[nodiscard]] std::vector<BertConfig> paper_benchmarks(int seq_len);
 
+/// Resolves a benchmark by its canonical name (e.g. "bert-tiny",
+/// "mobilebert-base"; "roberta" and "mobilebert" aliases accepted).
+/// Returns false when `name` matches no benchmark.
+[[nodiscard]] bool by_name(const std::string& name, int seq_len,
+                           BertConfig& out);
+
 /// One GEMM: (m x k) * (k x n), executed `count` times per model inference.
 struct GemmShape {
   std::string label;

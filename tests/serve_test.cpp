@@ -1,0 +1,259 @@
+// Tests for the serving layer: request generation, trace parsing, and the
+// BatchScheduler's determinism / queueing / batching behaviour.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/overlay.hpp"
+#include "serve/request.hpp"
+#include "serve/scheduler.hpp"
+
+namespace nova::serve {
+namespace {
+
+ServeConfig small_pool(int instances, int threads) {
+  ServeConfig config;
+  config.nova = core::make_overlay(hw::AcceleratorKind::kTpuV4).nova;
+  config.instances = instances;
+  config.threads = threads;
+  config.seed = 7;
+  // Keep the cycle-accurate pricing slice small so the suite stays fast.
+  config.sim_elements_cap = 512;
+  return config;
+}
+
+TEST(RequestGenerator, PoissonIsDeterministicAndSorted) {
+  TrafficProfile profile;
+  const auto a = generate_poisson(64, profile, 123);
+  const auto b = generate_poisson(64, profile, 123);
+  ASSERT_EQ(a.size(), 64u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<int>(i));
+    EXPECT_DOUBLE_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].function, b[i].function);
+    EXPECT_EQ(a[i].seq_len, b[i].seq_len);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_us, a[i - 1].arrival_us);
+    }
+  }
+  const auto c = generate_poisson(64, profile, 124);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrival_us != c[i].arrival_us) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RequestGenerator, RespectsRate) {
+  TrafficProfile profile;
+  profile.rate_rps = 1e6;  // 1 us mean gap
+  const auto requests = generate_poisson(2000, profile, 9);
+  const double span_us = requests.back().arrival_us;
+  const double mean_gap = span_us / 2000.0;
+  EXPECT_GT(mean_gap, 0.8);
+  EXPECT_LT(mean_gap, 1.25);
+}
+
+TEST(Trace, ParsesSortsAndRenumbers) {
+  std::istringstream in(
+      "# comment\n"
+      "\n"
+      "20.5, bert-mini, exp, 64, 16\n"
+      "3.0, bert-tiny, gelu, 128, 16\n");
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  ASSERT_TRUE(parse_trace(in, requests, error)) << error;
+  ASSERT_EQ(requests.size(), 2u);
+  EXPECT_EQ(requests[0].id, 0);
+  EXPECT_DOUBLE_EQ(requests[0].arrival_us, 3.0);
+  EXPECT_EQ(requests[0].workload, "bert-tiny");
+  EXPECT_EQ(requests[0].function, approx::NonLinearFn::kGelu);
+  EXPECT_EQ(requests[1].id, 1);
+  EXPECT_EQ(requests[1].seq_len, 64);
+}
+
+TEST(Trace, RejectsMalformedLines) {
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  {
+    std::istringstream in("1.0, bert-tiny, gelu\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, no-such-model, gelu, 64, 16\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("unknown workload"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, bert-tiny, no-such-fn, 64, 16\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("unknown function"), std::string::npos);
+  }
+  {
+    std::istringstream in("-1.0, bert-tiny, gelu, 64, 16\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+  }
+  {
+    // Extra columns land in the last field; must reject, not parse "16, 99"
+    // as 16.
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, 99\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("malformed number"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, bert-tiny, gelu, 64x, 16\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+  }
+  {
+    // NaN/inf would poison the arrival sort and the latency statistics.
+    std::istringstream in("nan, bert-tiny, gelu, 64, 16\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+  }
+  {
+    std::istringstream in("inf, bert-tiny, gelu, 64, 16\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+  }
+}
+
+TEST(BatchScheduler, ShapePricingIsStableAcrossStreams) {
+  // The same request shape must cost the same whether it arrives alone or
+  // alongside unrelated shapes (pricing seeds from the shape, not from its
+  // position in the stream).
+  std::vector<InferenceRequest> alone(1);
+  alone[0].id = 0;
+
+  std::vector<InferenceRequest> mixed(2);
+  mixed[0].id = 0;
+  mixed[0].workload = "bert-mini";  // sorts ahead of bert-tiny in the
+                                    // distinct-shape map
+  mixed[1].id = 1;
+  mixed[1].arrival_us = 1.0;
+
+  const BatchScheduler scheduler(small_pool(1, 1));
+  const auto a = scheduler.run(alone);
+  const auto b = scheduler.run(mixed);
+  EXPECT_EQ(a.outcomes[0].service_cycles, b.outcomes[1].service_cycles);
+  EXPECT_DOUBLE_EQ(a.outcomes[0].service_us, b.outcomes[1].service_us);
+}
+
+TEST(BatchScheduler, DeterministicAcrossThreadCounts) {
+  TrafficProfile profile;
+  profile.rate_rps = 1e6;
+  const auto requests = generate_poisson(200, profile, 11);
+
+  const auto one = BatchScheduler(small_pool(3, 1)).run(requests);
+  const auto four = BatchScheduler(small_pool(3, 4)).run(requests);
+  const auto eight = BatchScheduler(small_pool(3, 8)).run(requests);
+
+  ASSERT_EQ(one.outcomes.size(), four.outcomes.size());
+  ASSERT_EQ(one.outcomes.size(), eight.outcomes.size());
+  for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+    for (const auto* other : {&four, &eight}) {
+      const auto& a = one.outcomes[i];
+      const auto& b = other->outcomes[i];
+      EXPECT_EQ(a.instance, b.instance);
+      EXPECT_EQ(a.batch_id, b.batch_id);
+      EXPECT_EQ(a.batch_size, b.batch_size);
+      EXPECT_EQ(a.service_cycles, b.service_cycles);
+      // Bit-identical, not merely close: the dispatch phase is serial and
+      // the pricing phase writes to disjoint slots.
+      EXPECT_DOUBLE_EQ(a.service_us, b.service_us);
+      EXPECT_DOUBLE_EQ(a.start_us, b.start_us);
+      EXPECT_DOUBLE_EQ(a.finish_us, b.finish_us);
+    }
+  }
+  EXPECT_DOUBLE_EQ(one.throughput_rps, four.throughput_rps);
+  EXPECT_DOUBLE_EQ(one.makespan_us, four.makespan_us);
+  EXPECT_DOUBLE_EQ(one.latency_percentile_us(99.0),
+                   four.latency_percentile_us(99.0));
+}
+
+TEST(BatchScheduler, OutcomesAreCausallyOrdered) {
+  TrafficProfile profile;
+  profile.rate_rps = 2e6;  // overload a small pool so queues form
+  const auto requests = generate_poisson(120, profile, 3);
+  const auto report = BatchScheduler(small_pool(2, 2)).run(requests);
+
+  ASSERT_EQ(report.outcomes.size(), requests.size());
+  double max_finish = 0.0;
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_GE(outcome.start_us, outcome.request.arrival_us);
+    EXPECT_GT(outcome.finish_us, outcome.start_us);
+    EXPECT_GE(outcome.instance, 0);
+    EXPECT_LT(outcome.instance, 2);
+    EXPECT_GT(outcome.service_cycles, 0u);
+    max_finish = std::max(max_finish, outcome.finish_us);
+  }
+  // Per-instance dispatches must not overlap.
+  for (int inst = 0; inst < 2; ++inst) {
+    double last_finish = 0.0;
+    int last_batch = -1;
+    for (const auto& outcome : report.outcomes) {
+      if (outcome.instance != inst || outcome.batch_id == last_batch)
+        continue;
+      EXPECT_GE(outcome.start_us, last_finish);
+      last_finish = outcome.finish_us;
+      last_batch = outcome.batch_id;
+    }
+  }
+  const auto* hist = report.stats.find_histogram("serve.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), requests.size());
+  EXPECT_LE(report.latency_percentile_us(50.0),
+            report.latency_percentile_us(95.0));
+  EXPECT_LE(report.latency_percentile_us(95.0),
+            report.latency_percentile_us(99.0));
+  EXPECT_GT(report.throughput_rps, 0.0);
+}
+
+TEST(BatchScheduler, FusesBackloggedCompatibleRequests) {
+  // Four same-table requests all queued at t=0 on one instance fuse into a
+  // single dispatch under max_batch >= 4.
+  std::vector<InferenceRequest> requests(4);
+  for (int i = 0; i < 4; ++i) {
+    requests[static_cast<std::size_t>(i)].id = i;
+    requests[static_cast<std::size_t>(i)].arrival_us = 0.0;
+  }
+  auto config = small_pool(1, 1);
+  config.max_batch = 4;
+  const auto report = BatchScheduler(config).run(requests);
+  for (const auto& outcome : report.outcomes) {
+    EXPECT_EQ(outcome.batch_id, 0);
+    EXPECT_EQ(outcome.batch_size, 4);
+    EXPECT_DOUBLE_EQ(outcome.finish_us, report.outcomes[0].finish_us);
+  }
+  // The fused dispatch is cheaper than four standalone ones (pipeline
+  // overlap credit) but still costs more than one.
+  const double fused = report.outcomes[0].finish_us;
+  const double standalone = report.outcomes[0].service_us;
+  EXPECT_LT(fused, 4.0 * standalone);
+  EXPECT_GT(fused, standalone);
+
+  // With batching disabled the same stream needs four dispatches.
+  config.max_batch = 1;
+  const auto unbatched = BatchScheduler(config).run(requests);
+  EXPECT_EQ(unbatched.stats.counter("serve.batches"), 4u);
+  EXPECT_GT(unbatched.outcomes[3].finish_us, fused);
+}
+
+TEST(BatchScheduler, MoreInstancesReduceTailLatency) {
+  TrafficProfile profile;
+  profile.rate_rps = 2e6;
+  const auto requests = generate_poisson(150, profile, 21);
+  const auto narrow = BatchScheduler(small_pool(1, 2)).run(requests);
+  const auto wide = BatchScheduler(small_pool(4, 2)).run(requests);
+  EXPECT_LT(wide.latency_percentile_us(99.0),
+            narrow.latency_percentile_us(99.0));
+}
+
+TEST(BatchScheduler, EmptyStreamYieldsEmptyReport) {
+  const auto report =
+      BatchScheduler(small_pool(2, 2)).run(std::vector<InferenceRequest>{});
+  EXPECT_TRUE(report.outcomes.empty());
+  EXPECT_DOUBLE_EQ(report.throughput_rps, 0.0);
+}
+
+}  // namespace
+}  // namespace nova::serve
