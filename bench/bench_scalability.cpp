@@ -9,6 +9,7 @@
 // BENCH_scalability.json so the perf trajectory is tracked across PRs.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -140,14 +141,23 @@ EngineResult bench_engines(int components, Cycle base_cycles,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nova;
   using namespace nova::hw;
+
+  // --smoke: shrink the engine-timing span so CI can run this in seconds;
+  // the timing-model tables are cheap and unchanged.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const Cycle engine_base_cycles = smoke ? 20000 : 200000;
 
   std::puts("Section V.A scalability reproduction: clockless-repeater line "
             "timing (1 mm router spacing)\n");
 
-  std::string json = "{\n  \"hops_vs_clock\": [\n";
+  std::string json = std::string("{\n  \"smoke\": ") +
+                     (smoke ? "true" : "false") + ",\n  \"hops_vs_clock\": [\n";
   Table hops("Max single-cycle hops vs clock");
   hops.set_header({"clock (MHz)", "hops/cycle", "10-router line single "
                    "cycle?"});
@@ -213,7 +223,8 @@ int main() {
       {"0.05 (idle-heavy)", 0.05},
   };
   for (std::size_t i = 0; i < cases.size(); ++i) {
-    const auto r = bench_engines(64, 200000, cases[i].busy_fraction);
+    const auto r = bench_engines(64, engine_base_cycles,
+                                 cases[i].busy_fraction);
     engine_table.add_row({cases[i].label, Table::num(r.dense_mticks_per_sec, 1),
                           Table::num(r.bucketed_mticks_per_sec, 1),
                           Table::num(r.speedup, 2)});

@@ -21,6 +21,7 @@ PwlTable::PwlTable(NonLinearFn fn, Domain domain,
   NOVA_EXPECTS(slopes_.size() == biases_.size());
   NOVA_EXPECTS(boundaries_.size() + 1 == slopes_.size());
   NOVA_EXPECTS(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  init_quant_boundaries();
 }
 
 PwlTable::PwlTable(ScalarFn exact, std::string label, Domain domain,
@@ -38,6 +39,23 @@ PwlTable::PwlTable(ScalarFn exact, std::string label, Domain domain,
   NOVA_EXPECTS(slopes_.size() == biases_.size());
   NOVA_EXPECTS(boundaries_.size() + 1 == slopes_.size());
   NOVA_EXPECTS(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+  init_quant_boundaries();
+}
+
+void PwlTable::init_quant_boundaries() {
+  // b <= raw/2^frac (the double-domain comparison on a quantized input) is
+  // equivalent to ceil(b * 2^frac) <= raw for integer raw: multiplying by a
+  // power of two only rescales the exponent, so the product and its ceil are
+  // exact. Clamping to int32 preserves the verdict for boundaries outside
+  // the Word16 range (always-below / never-below every representable word).
+  quant_boundaries_.reserve(boundaries_.size());
+  const double scale = static_cast<double>(1LL << Word16::kFracBits);
+  for (const double b : boundaries_) {
+    const double scaled = std::ceil(b * scale);
+    const double clamped =
+        std::min(std::max(scaled, -2147483648.0), 2147483647.0);
+    quant_boundaries_.push_back(static_cast<std::int32_t>(clamped));
+  }
 }
 
 int PwlTable::lookup_address(double x) const {
@@ -62,7 +80,7 @@ PwlTable::QuantPair PwlTable::quantized_pair(int i) const {
 
 double PwlTable::eval_fixed(double x) const {
   const Word16 xq = Word16::from_double(x);
-  const int i = lookup_address(xq.to_double());
+  const int i = lookup_address(xq);
   const QuantPair pair = quantized_pair(i);
   return Word16::mac(pair.slope, xq, pair.bias).to_double();
 }

@@ -7,6 +7,8 @@
 // containing x (what the comparator bank at each PE computes).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -47,6 +49,17 @@ class PwlTable {
   /// [0, breakpoints). This is the comparator-bank output.
   [[nodiscard]] int lookup_address(double x) const;
 
+  /// Quantized-domain lookup: the address of a link word, bit-identical to
+  /// lookup_address(x.to_double()) but comparing the raw integer against
+  /// boundaries pre-scaled at construction -- no per-element fixed-point ->
+  /// double round trip on the wave-issue hot path.
+  [[nodiscard]] int lookup_address(Word16 x) const {
+    const auto it = std::upper_bound(quant_boundaries_.begin(),
+                                     quant_boundaries_.end(),
+                                     static_cast<std::int32_t>(x.raw()));
+    return static_cast<int>(it - quant_boundaries_.begin());
+  }
+
   /// Approximated evaluation in double precision.
   [[nodiscard]] double eval(double x) const;
 
@@ -80,6 +93,8 @@ class PwlTable {
   [[nodiscard]] QuantPair quantized_pair(int i) const;
 
  private:
+  void init_quant_boundaries();
+
   NonLinearFn fn_ = NonLinearFn::kGelu;
   ScalarFn exact_;
   std::string label_;
@@ -87,6 +102,11 @@ class PwlTable {
   std::vector<double> boundaries_;  // N-1 sorted interior segment bounds
   std::vector<double> slopes_;      // N
   std::vector<double> biases_;      // N
+  /// boundaries_ pre-scaled to the Word16 raw grid (ceil(b * 2^frac)):
+  /// b <= raw/2^frac iff quant_boundary <= raw, so the quantized lookup is
+  /// one integer upper_bound. int32 so out-of-range boundaries keep their
+  /// ordering instead of saturating onto representable words.
+  std::vector<std::int32_t> quant_boundaries_;
 };
 
 }  // namespace nova::approx

@@ -40,6 +40,10 @@ SimSession::SimSession(const NovaConfig& config,
       hops_per_noc_cycle_(derive_hops_per_noc_cycle(config)),
       accel_domain_(engine_.add_domain("accel", 1)),
       noc_domain_(engine_.add_domain("noc", schedule_.noc_clock_multiplier)),
+      id_pair_captures_(result_.stats.counter_id("unit.pair_captures")),
+      id_mac_ops_(result_.stats.counter_id("unit.mac_ops")),
+      id_comparator_ops_(result_.stats.counter_id("unit.comparator_ops")),
+      id_waves_(result_.stats.counter_id("unit.waves")),
       line_(noc::LineNocConfig{config.routers, hops_per_noc_cycle_},
             &result_.stats),
       cursor_(inputs.size(), 0) {
@@ -50,9 +54,7 @@ SimSession::SimSession(const NovaConfig& config,
     result_.outputs[r].reserve(inputs_[r].size());
   }
 
-  line_.set_observer([this](int router, const noc::Flit& flit, sim::Cycle) {
-    observe(router, flit);
-  });
+  line_.set_sink(this);
   // The wave-issue callback advertises quiescence once the pipeline stages
   // are empty and the streams are consumed, so the engine can fast-forward
   // a drained session.
@@ -76,18 +78,24 @@ bool SimSession::pipeline_idle() const {
 
 bool SimSession::drained() const { return pipeline_idle() && line_.idle(); }
 
-void SimSession::observe(int router, const noc::Flit& flit) {
+void SimSession::on_observation(int router, const noc::Flit& flit,
+                                sim::Cycle /*noc_now*/) {
   if (!lookup_wave_.has_value()) return;
   auto& rw = lookup_wave_->routers[static_cast<std::size_t>(router)];
-  for (std::size_t i = 0; i < rw.addresses.size(); ++i) {
-    if (rw.have[i]) continue;
-    const int addr = rw.addresses[i];
-    if (schedule_.tag_of(addr) != flit.tag()) continue;
-    rw.captured[i] = flit.pair(schedule_.slot_of(addr));
-    rw.have[i] = true;
-    ++rw.captured_count;
-    result_.stats.bump("unit.pair_captures");
+  const auto tag = static_cast<std::size_t>(flit.tag());
+  // One bucket per tag, consumed whole on the tag's first observation:
+  // every entry in it selects its pair from this flit. (Flit trains repeat
+  // identical pairs each wave, so a leftover in-flight flit from the
+  // previous train delivers the same data the current train would.)
+  if (!rw.tag_pending[tag]) return;
+  rw.tag_pending[tag] = false;
+  const int begin = rw.tag_begin[tag];
+  const int end = rw.tag_begin[tag + 1];
+  for (int k = begin; k < end; ++k) {
+    const auto i = static_cast<std::size_t>(rw.plan_entries[k]);
+    rw.captured[i] = flit.pair(rw.slots[i]);
   }
+  rw.captured_count += end - begin;
 }
 
 // Accelerator-clock phase: MAC drain, capture->MAC move, wave issue.
@@ -100,15 +108,21 @@ void SimSession::accel_tick(sim::Cycle now) {
   }
   // (b) The MAC stage executes: y = slope * x + bias per neuron.
   if (mac_wave_.has_value()) {
+    std::uint64_t macs = 0;
     for (std::size_t r = 0; r < mac_wave_->routers.size(); ++r) {
       auto& rw = mac_wave_->routers[r];
+      auto& out = result_.outputs[r];
       for (std::size_t i = 0; i < rw.inputs.size(); ++i) {
         const Word16 y = Word16::mac(rw.captured[i].slope, rw.inputs[i],
                                      rw.captured[i].bias);
-        result_.outputs[r].push_back(y.to_double());
-        result_.stats.bump("unit.mac_ops");
+        out.push_back(y.to_double());
       }
+      macs += rw.inputs.size();
     }
+    // The wave's pairs were all captured by the time it entered this stage;
+    // flush both per-wave aggregates with one bump each.
+    result_.stats.bump(id_mac_ops_, macs);
+    result_.stats.bump(id_pair_captures_, macs);
     result_.wave_latency_cycles =
         static_cast<int>(now - mac_wave_->issued_at) + 1;
     last_mac_cycle_ = now;
@@ -118,30 +132,55 @@ void SimSession::accel_tick(sim::Cycle now) {
   // (c) Issue the next wave: comparators fire and the mapper launches the
   // flit train (one flit per NoC cycle).
   if (!lookup_wave_.has_value() && !all_inputs_consumed()) {
+    const auto m = static_cast<std::size_t>(schedule_.noc_clock_multiplier);
     Wave wave;
     wave.issued_at = now;
     wave.routers.resize(inputs_.size());
+    std::uint64_t comparator_ops = 0;
     for (std::size_t r = 0; r < inputs_.size(); ++r) {
       auto& rw = wave.routers[r];
       const std::size_t take =
           std::min(inputs_[r].size() - cursor_[r],
                    static_cast<std::size_t>(config_.neurons_per_router));
       rw.inputs.reserve(take);
-      rw.addresses.reserve(take);
+      rw.slots.reserve(take);
+      if (tag_scratch_.size() < take) tag_scratch_.resize(take);
+      tag_fill_.assign(m + 1, 0);
       for (std::size_t i = 0; i < take; ++i) {
         const double x = inputs_[r][cursor_[r] + i];
         const Word16 xq = Word16::from_double(x);
+        const int addr = table_.lookup_address(xq);
         rw.inputs.push_back(xq);
-        rw.addresses.push_back(table_.lookup_address(xq.to_double()));
-        result_.stats.bump("unit.comparator_ops");
+        rw.slots.push_back(schedule_.slot_of(addr));
+        const int tag = schedule_.tag_of(addr);
+        tag_scratch_[i] = tag;
+        ++tag_fill_[static_cast<std::size_t>(tag) + 1];
       }
       cursor_[r] += take;
+      comparator_ops += take;
+      // Counting sort of the entries by tag: tag_begin offsets, then a fill
+      // pass placing each entry in its bucket.
+      rw.tag_begin.assign(m + 1, 0);
+      for (std::size_t t = 0; t < m; ++t) {
+        rw.tag_begin[t + 1] = rw.tag_begin[t] + tag_fill_[t + 1];
+      }
+      std::copy(rw.tag_begin.begin(), rw.tag_begin.end(), tag_fill_.begin());
+      rw.plan_entries.resize(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        const auto t = static_cast<std::size_t>(tag_scratch_[i]);
+        rw.plan_entries[static_cast<std::size_t>(tag_fill_[t]++)] =
+            static_cast<int>(i);
+      }
+      rw.tag_pending.assign(m, false);
+      for (std::size_t t = 0; t < m; ++t) {
+        rw.tag_pending[t] = rw.tag_begin[t + 1] > rw.tag_begin[t];
+      }
       rw.captured.resize(take);
-      rw.have.assign(take, false);
     }
     lookup_wave_ = std::move(wave);
     for (const auto& flit : schedule_.flits) line_.inject(flit);
-    result_.stats.bump("unit.waves");
+    result_.stats.bump(id_comparator_ops_, comparator_ops);
+    result_.stats.bump(id_waves_);
   }
 }
 

@@ -10,6 +10,17 @@
 // and input streams alive for the session's lifetime and must not share one
 // session between threads; a session is single-shot (construct, run once,
 // read the result).
+//
+// Hot-path structure (this is the simulator's innermost loop, and therefore
+// the serving layer's per-request cost):
+//   * The session attaches to the LineNoc as a noc::CaptureSink -- one
+//     virtual call per router observation, no std::function hop.
+//   * Each wave is issued with a tag-indexed capture plan: entries are
+//     bucketed by flit tag (counting sort) at issue time, so an observation
+//     captures exactly its matching entries instead of scanning every
+//     pending address on every flit.
+//   * Statistic counters are interned once (sim::StatId) and bumped as
+//     per-wave aggregates, not once per element event.
 #pragma once
 
 #include <optional>
@@ -22,7 +33,7 @@ namespace nova::core {
 
 /// One reentrant, single-shot simulation of a NOVA deployment approximating
 /// `table` over per-router input streams.
-class SimSession {
+class SimSession final : private noc::CaptureSink {
  public:
   /// `table` and `inputs` are borrowed for the session's lifetime.
   /// inputs.size() must equal config.routers.
@@ -37,12 +48,21 @@ class SimSession {
   [[nodiscard]] ApproxResult run();
 
  private:
-  /// Per-router slice of an in-flight wave.
+  /// Per-router slice of an in-flight wave, with its tag-indexed capture
+  /// plan: plan_entries holds the entry indices grouped by flit tag
+  /// (tag_begin[t] .. tag_begin[t+1]), so the observation for tag t touches
+  /// exactly its own entries.
   struct RouterWave {
     std::vector<Word16> inputs;
-    std::vector<int> addresses;
+    /// Flit slot (lookup address div multiplier) per entry.
+    std::vector<int> slots;
     std::vector<noc::SlopeBiasPair> captured;
-    std::vector<bool> have;
+    /// Entry indices grouped by tag; offsets in tag_begin (size m + 1).
+    std::vector<int> plan_entries;
+    std::vector<int> tag_begin;
+    /// Tag buckets not yet consumed; a bucket is captured whole on the
+    /// first observation of its tag and empty buckets start consumed.
+    std::vector<bool> tag_pending;
     int captured_count = 0;
 
     [[nodiscard]] bool complete() const {
@@ -57,7 +77,9 @@ class SimSession {
     [[nodiscard]] bool complete() const;
   };
 
-  void observe(int router, const noc::Flit& flit);
+  /// noc::CaptureSink: router `router` sees `flit` on the line.
+  void on_observation(int router, const noc::Flit& flit,
+                      sim::Cycle noc_now) override;
   void accel_tick(sim::Cycle now);
   [[nodiscard]] bool all_inputs_consumed() const;
   /// Quiescence of the accelerator-side pipeline stages (the engine's idle
@@ -75,9 +97,16 @@ class SimSession {
   int accel_domain_ = 0;
   int noc_domain_ = 0;
   ApproxResult result_;
+  sim::StatId id_pair_captures_;
+  sim::StatId id_mac_ops_;
+  sim::StatId id_comparator_ops_;
+  sim::StatId id_waves_;
   noc::LineNoc line_;
 
   std::vector<std::size_t> cursor_;
+  /// Scratch for the per-wave counting sort (entry tags, bucket counts).
+  std::vector<int> tag_scratch_;
+  std::vector<int> tag_fill_;
   std::optional<Wave> lookup_wave_;
   std::optional<Wave> mac_wave_;
   sim::Cycle last_mac_cycle_ = 0;

@@ -25,7 +25,12 @@ LutResult LutVectorUnit::approximate(
   // The pipeline processes one wave of up to neurons_per_unit elements per
   // unit per cycle: cycle k fetches (comparator -> bank read), cycle k+1
   // MACs while wave k+1 fetches. Total cycles = waves + 1 drain cycle.
+  const sim::StatId id_comparator_ops =
+      result.stats.counter_id("unit.comparator_ops");
+  const sim::StatId id_bank_reads = result.stats.counter_id("lut.bank_reads");
+  const sim::StatId id_mac_ops = result.stats.counter_id("unit.mac_ops");
   std::uint64_t waves = 0;
+  std::uint64_t elements = 0;
   for (std::size_t u = 0; u < inputs.size(); ++u) {
     const auto& stream = inputs[u];
     result.outputs[u].reserve(stream.size());
@@ -36,15 +41,18 @@ LutResult LutVectorUnit::approximate(
     waves = std::max(waves, unit_waves);
     for (const double x : stream) {
       const Word16 xq = Word16::from_double(x);
-      const int addr = table.lookup_address(xq.to_double());
-      result.stats.bump("unit.comparator_ops");
-      result.stats.bump("lut.bank_reads");
+      const int addr = table.lookup_address(xq);
       const auto pair = table.quantized_pair(addr);
       result.outputs[u].push_back(
           Word16::mac(pair.slope, xq, pair.bias).to_double());
-      result.stats.bump("unit.mac_ops");
     }
+    elements += stream.size();
   }
+  // One comparator op, one bank read, and one MAC per element; flushed as
+  // stream aggregates through interned ids, not bumped per element.
+  result.stats.bump(id_comparator_ops, elements);
+  result.stats.bump(id_bank_reads, elements);
+  result.stats.bump(id_mac_ops, elements);
   result.accel_cycles = waves == 0 ? 0 : waves + 1;
   result.wave_latency_cycles = 2;
   return result;

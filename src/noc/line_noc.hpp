@@ -16,6 +16,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 
 #include "noc/flit.hpp"
 #include "sim/engine.hpp"
@@ -30,17 +31,42 @@ struct LineNocConfig {
   int max_hops_per_cycle = 10;
 };
 
+/// Receiver of router observations: the capture datapath attached to the
+/// line. One virtual call per (router, flit) observation -- the hot-path
+/// replacement for the former per-observation std::function hop (a
+/// std::function adds an indirect call through a type-erased thunk plus a
+/// possible heap-allocated closure; a sink is a single indirect call on a
+/// stable vtable).
+class CaptureSink {
+ public:
+  virtual ~CaptureSink() = default;
+  /// Router `router` observes `flit` in NoC cycle `noc_now`.
+  virtual void on_observation(int router, const Flit& flit,
+                              sim::Cycle noc_now) = 0;
+};
+
 /// The line NoC as a sim component clocked in the NoC domain.
 class LineNoc final : public sim::Ticked {
  public:
   /// `stats` may be null; when provided the NoC counts flits, wire-segment
-  /// traversals, register latches, and observations into it.
+  /// traversals, register latches, and observations into it (counter names
+  /// interned once here, bumped as per-tick aggregates).
   LineNoc(const LineNocConfig& config, sim::StatRegistry* stats);
 
-  /// Observer invoked as each router observes a passing flit.
+  /// Attaches the capture datapath (non-owning; may be null to detach).
+  /// The hot path for simulation sessions. Replaces (and releases) any
+  /// observer adapter installed via set_observer.
+  void set_sink(CaptureSink* sink) {
+    observer_adapter_.reset();
+    sink_ = sink;
+  }
+
+  /// Convenience observer for tests and examples: wraps `observer` in an
+  /// owned adapter sink. Cold-path setup only; the per-observation cost is
+  /// the wrapped std::function call.
   using Observer =
       std::function<void(int router, const Flit& flit, sim::Cycle noc_now)>;
-  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  void set_observer(Observer observer);
 
   /// Queues a flit for injection; at most one flit enters the line per NoC
   /// cycle (the line is a single physical channel).
@@ -65,11 +91,38 @@ class LineNoc final : public sim::Ticked {
     int frontier = 0;
   };
 
-  void advance(Wavefront& wave, sim::Cycle now);
+  /// Adapter behind set_observer.
+  class FunctionSink final : public CaptureSink {
+   public:
+    explicit FunctionSink(Observer observer) : observer_(std::move(observer)) {}
+    void on_observation(int router, const Flit& flit,
+                        sim::Cycle noc_now) override {
+      observer_(router, flit, noc_now);
+    }
+
+   private:
+    Observer observer_;
+  };
+
+  /// Per-tick stat deltas, accumulated locally in tick() and flushed as one
+  /// bump per counter instead of one per event.
+  struct TickDeltas {
+    std::uint64_t observations = 0;
+    std::uint64_t segment_traversals = 0;
+    std::uint64_t register_latches = 0;
+    std::uint64_t flits_injected = 0;
+  };
+
+  void advance(Wavefront& wave, sim::Cycle now, TickDeltas& deltas);
 
   LineNocConfig config_;
   sim::StatRegistry* stats_;  // non-owning, may be null
-  Observer observer_;
+  sim::StatId id_observations_;
+  sim::StatId id_segment_traversals_;
+  sim::StatId id_register_latches_;
+  sim::StatId id_flits_injected_;
+  CaptureSink* sink_ = nullptr;  // non-owning
+  std::unique_ptr<FunctionSink> observer_adapter_;
   std::deque<Wavefront> in_flight_;
   std::deque<Flit> inject_queue_;
 };

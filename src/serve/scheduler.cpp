@@ -202,6 +202,8 @@ ServeReport BatchScheduler::run(
                               0.0);
   auto& latency_hist = report.stats.histogram("serve.latency_us");
   auto& batch_hist = report.stats.histogram("serve.batch_size");
+  const sim::StatId id_batches = report.stats.counter_id("serve.batches");
+  const sim::StatId id_requests = report.stats.counter_id("serve.requests");
   const double cycle_us = 1.0 / config_.nova.accel_freq_mhz;
 
   std::size_t queue_head = 0;
@@ -258,8 +260,8 @@ ServeReport BatchScheduler::run(
     inst.batches += 1;
     inst.busy_us += service_us;
     batch_hist.record(static_cast<double>(batch_size));
-    report.stats.bump("serve.batches");
-    report.stats.bump("serve.requests", static_cast<std::uint64_t>(batch_size));
+    report.stats.bump(id_batches);
+    report.stats.bump(id_requests, static_cast<std::uint64_t>(batch_size));
 
     free_at[instance] = finish;
     last_finish = std::max(last_finish, finish);

@@ -51,8 +51,17 @@ void Histogram::clear() {
   sum_ = 0.0;
 }
 
+StatId StatRegistry::counter_id(const std::string& name) {
+  const auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return StatId(it->second);
+  const auto index = static_cast<std::uint32_t>(counter_values_.size());
+  counter_index_.emplace(name, index);
+  counter_values_.push_back(0);
+  return StatId(index);
+}
+
 void StatRegistry::bump(const std::string& name, std::uint64_t delta) {
-  counters_[name] += delta;
+  bump(counter_id(name), delta);
 }
 
 void StatRegistry::sample(const std::string& name, double value) {
@@ -71,8 +80,8 @@ const Histogram* StatRegistry::find_histogram(const std::string& name) const {
 }
 
 std::uint64_t StatRegistry::counter(const std::string& name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const auto it = counter_index_.find(name);
+  return it == counter_index_.end() ? 0 : counter_values_[it->second];
 }
 
 double StatRegistry::sum(const std::string& name) const {
@@ -92,7 +101,9 @@ double StatRegistry::mean(const std::string& name) const {
 }
 
 void StatRegistry::clear() {
-  counters_.clear();
+  // Issued StatIds must survive a clear, so the intern table stays and only
+  // the values reset.
+  std::fill(counter_values_.begin(), counter_values_.end(), 0);
   accumulators_.clear();
   histograms_.clear();
 }
@@ -100,8 +111,11 @@ void StatRegistry::clear() {
 Table StatRegistry::to_table(const std::string& title) const {
   Table t(title);
   t.set_header({"stat", "value", "samples"});
-  for (const auto& [name, value] : counters_) {
-    t.add_row({name, std::to_string(value), "-"});
+  for (const auto& [name, index] : counter_index_) {
+    // Interning alone (counter_id with no bump) adds no row; the rendered
+    // table depends only on what was counted, not on which face counted it.
+    if (counter_values_[index] == 0) continue;
+    t.add_row({name, std::to_string(counter_values_[index]), "-"});
   }
   for (const auto& [name, acc] : accumulators_) {
     t.add_row({name + " (mean)", Table::num(mean(name), 4),

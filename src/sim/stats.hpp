@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/table.hpp"
 
 namespace nova::sim {
@@ -14,6 +15,13 @@ namespace nova::sim {
 /// primitive of the serving layer. Stores raw samples (the populations
 /// here -- request latencies, batch sizes -- are bounded by request count,
 /// so exact percentiles are affordable and reproducible).
+///
+/// Empty-histogram contract: count() == 0 and sum() == 0.0, and the three
+/// order statistics -- min(), max(), percentile(p) -- all return 0.0 (there
+/// is no sample to report; callers that need to distinguish "no samples"
+/// from "samples at zero" must check count() first). The contract is
+/// deliberately a documented return, not an assertion: to_table() renders
+/// registered-but-never-recorded histograms.
 class Histogram {
  public:
   void record(double value);
@@ -22,11 +30,15 @@ class Histogram {
     return static_cast<std::uint64_t>(samples_.size());
   }
   [[nodiscard]] double sum() const { return sum_; }
+  /// Mean of the samples; 0.0 when empty.
   [[nodiscard]] double mean() const;
+  /// Smallest sample; 0.0 when empty (see the empty-histogram contract).
   [[nodiscard]] double min() const;
+  /// Largest sample; 0.0 when empty (see the empty-histogram contract).
   [[nodiscard]] double max() const;
 
-  /// Nearest-rank percentile, `p` in [0, 100]. Returns 0.0 when empty.
+  /// Nearest-rank percentile, `p` in [0, 100]; 0.0 when empty (see the
+  /// empty-histogram contract).
   [[nodiscard]] double percentile(double p) const;
 
   void clear();
@@ -39,12 +51,55 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// Pre-resolved handle to a StatRegistry counter: a dense index interned
+/// once on a cold path (typically a constructor), then bumped with a single
+/// vector add on hot paths -- no string hashing or map walk per event.
+/// Valid only for the registry that issued it; registry.clear() zeroes the
+/// counter but keeps the handle valid.
+class StatId {
+ public:
+  StatId() = default;
+
+  [[nodiscard]] constexpr bool operator==(const StatId&) const = default;
+
+ private:
+  friend class StatRegistry;
+  explicit constexpr StatId(std::uint32_t index) : index_(index) {}
+  std::uint32_t index_ = 0;
+};
+
 /// A registry of named counters (monotonic), accumulators (sum + count,
 /// for means), and histograms (distributions with percentiles). Lookup by
 /// name creates on first use so instrumentation sites stay one-liners.
+///
+/// Counters have two faces over one dense store:
+///   * the string API (bump/counter by name) for cold paths and reporting,
+///   * the interned-ID API (counter_id once, then bump(StatId)) for hot
+///     loops -- the name resolves to an index into a dense value vector, so
+///     a bump is one add with no per-event string work.
+/// Both faces read and write the same values; mixing them on one name is
+/// fine and totals agree exactly.
 class StatRegistry {
  public:
-  /// Increments counter `name` by `delta`.
+  /// Interns `name` and returns its dense handle; idempotent (the same name
+  /// always maps to the same id). Cold path: call once, keep the id.
+  [[nodiscard]] StatId counter_id(const std::string& name);
+
+  /// Increments the interned counter by `delta`. The hot-path bump: one
+  /// bounds check and one add.
+  void bump(StatId id, std::uint64_t delta = 1) {
+    NOVA_EXPECTS(id.index_ < counter_values_.size());
+    counter_values_[id.index_] += delta;
+  }
+
+  /// Reads the interned counter.
+  [[nodiscard]] std::uint64_t counter(StatId id) const {
+    NOVA_EXPECTS(id.index_ < counter_values_.size());
+    return counter_values_[id.index_];
+  }
+
+  /// Increments counter `name` by `delta` (string face; interns on first
+  /// use).
   void bump(const std::string& name, std::uint64_t delta = 1);
 
   /// Adds a sample to accumulator `name`.
@@ -61,10 +116,14 @@ class StatRegistry {
   [[nodiscard]] double sum(const std::string& name) const;
   [[nodiscard]] std::uint64_t sample_count(const std::string& name) const;
 
+  /// Zeroes every counter (keeping issued StatIds valid) and drops all
+  /// accumulators and histograms.
   void clear();
 
   /// Renders all statistics as a two/three-column table; histograms expand
-  /// into p50/p95/p99/max rows.
+  /// into p50/p95/p99/max rows. Counters appear once nonzero, so a name
+  /// that was interned but never bumped adds no row -- the table is
+  /// identical whether a site used the string or the interned face.
   [[nodiscard]] Table to_table(const std::string& title = "statistics") const;
 
  private:
@@ -72,7 +131,10 @@ class StatRegistry {
     double sum = 0.0;
     std::uint64_t n = 0;
   };
-  std::map<std::string, std::uint64_t> counters_;
+  /// Name -> dense index; iteration order (sorted by name) fixes the
+  /// to_table row order.
+  std::map<std::string, std::uint32_t> counter_index_;
+  std::vector<std::uint64_t> counter_values_;
   std::map<std::string, Acc> accumulators_;
   std::map<std::string, Histogram> histograms_;
 };

@@ -59,6 +59,40 @@ TEST(PwlTable, AddressesSaturateOutsideDomain) {
   EXPECT_EQ(table.lookup_address(1e9), 15);
 }
 
+TEST(PwlTable, QuantizedLookupMatchesDoubleDomainLookup) {
+  // The Word16 overload (pre-scaled integer boundaries, no fixed-point ->
+  // double round trip) must agree with the double path on the quantized
+  // value for every representable input -- including values landing exactly
+  // on and either side of each boundary, and the saturated extremes.
+  for (const auto fn :
+       {NonLinearFn::kGelu, NonLinearFn::kExp, NonLinearFn::kTanh,
+        NonLinearFn::kRsqrt}) {
+    for (const int breakpoints : {8, 16, 32}) {
+      const PwlTable table = fit_uniform(fn, breakpoints);
+      const Domain d = table.domain();
+      Rng rng(77);
+      std::vector<double> probes;
+      for (int k = 0; k < 2000; ++k) {
+        probes.push_back(rng.uniform(d.lo - 1.0, d.hi + 1.0));
+      }
+      for (const double b : table.boundaries()) {
+        probes.push_back(b);
+        probes.push_back(b - Word16::resolution());
+        probes.push_back(b + Word16::resolution());
+      }
+      probes.push_back(Word16::min_value());
+      probes.push_back(Word16::max_value());
+      probes.push_back(-1e9);
+      probes.push_back(1e9);
+      for (const double x : probes) {
+        const Word16 xq = Word16::from_double(x);
+        EXPECT_EQ(table.lookup_address(xq), table.lookup_address(xq.to_double()))
+            << to_string(fn) << " bp=" << breakpoints << " x=" << x;
+      }
+    }
+  }
+}
+
 TEST(PwlTable, EvalIsContinuousEnoughAtBoundaries) {
   // Least-squares pieces are discontinuous at boundaries, but for smooth
   // functions with 16 segments the jump must be small.

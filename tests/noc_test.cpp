@@ -122,6 +122,67 @@ TEST(LineNoc, StatsCountSegmentsAndLatches) {
   EXPECT_EQ(stats.counter("noc.segment_traversals"), 8u);
   EXPECT_EQ(stats.counter("noc.register_latches"), 2u);
   EXPECT_EQ(stats.counter("noc.flits_injected"), 1u);
+  EXPECT_EQ(stats.counter("noc.observations"), 8u);
+}
+
+TEST(LineNoc, BatchedStatFlushMatchesPerEventTotals) {
+  // The NoC aggregates stat deltas per tick and flushes once per counter;
+  // the totals must equal an independent per-event count from the observer
+  // (the pre-batching behavior bumped once per event, so equality here is
+  // the before/after parity check). Multi-flit, multi-cycle traversal so
+  // ticks carry several events each.
+  sim::StatRegistry stats;
+  LineNoc noc(LineNocConfig{9, 2}, &stats);
+  std::uint64_t observed_events = 0;
+  noc.set_observer([&observed_events](int, const Flit&, sim::Cycle) {
+    ++observed_events;
+  });
+  for (int tag = 0; tag < 3; ++tag) noc.inject(test_flit(tag));
+  for (int c = 0; c < 12; ++c) noc.tick(static_cast<sim::Cycle>(c));
+  ASSERT_TRUE(noc.idle());
+  // 3 flits x 9 routers, each observation also one wire segment.
+  EXPECT_EQ(observed_events, 27u);
+  EXPECT_EQ(stats.counter("noc.observations"), observed_events);
+  EXPECT_EQ(stats.counter("noc.segment_traversals"), observed_events);
+  // 9 routers at 2 hops/cycle: latches after routers 1,3,5,7 -> 4 per flit.
+  EXPECT_EQ(stats.counter("noc.register_latches"), 12u);
+  EXPECT_EQ(stats.counter("noc.flits_injected"), 3u);
+}
+
+/// Direct CaptureSink implementation (the hot-path attachment SimSession
+/// uses), recording the same observation log the std::function observer
+/// adapter produces.
+class RecordingSink final : public CaptureSink {
+ public:
+  void on_observation(int router, const Flit& flit,
+                      sim::Cycle noc_now) override {
+    log.push_back({router, noc_now, flit.tag()});
+  }
+  std::vector<Observation> log;
+};
+
+TEST(LineNoc, CaptureSinkSeesSameObservationsAsObserver) {
+  const auto via_observer = run_noc(6, 2, {0, 1}, 8);
+
+  sim::StatRegistry stats;
+  LineNoc noc(LineNocConfig{6, 2}, &stats);
+  RecordingSink sink;
+  noc.set_sink(&sink);
+  noc.inject(test_flit(0));
+  noc.inject(test_flit(1));
+  for (int c = 0; c < 8; ++c) noc.tick(static_cast<sim::Cycle>(c));
+
+  ASSERT_EQ(sink.log.size(), via_observer.size());
+  for (std::size_t i = 0; i < sink.log.size(); ++i) {
+    EXPECT_EQ(sink.log[i].router, via_observer[i].router);
+    EXPECT_EQ(sink.log[i].cycle, via_observer[i].cycle);
+    EXPECT_EQ(sink.log[i].tag, via_observer[i].tag);
+  }
+  // Detaching stops delivery.
+  noc.set_sink(nullptr);
+  noc.inject(test_flit(0));
+  noc.tick(8);
+  EXPECT_EQ(sink.log.size(), via_observer.size());
 }
 
 TEST(LineNoc, SingleRouterLineWorks) {

@@ -187,6 +187,60 @@ TEST(Engine, RunUntilIdleHonoursBudget) {
   EXPECT_EQ(fired, 7);
 }
 
+TEST(Stats, CounterIdInterningIsIdempotent) {
+  StatRegistry stats;
+  const StatId a = stats.counter_id("noc.observations");
+  const StatId b = stats.counter_id("noc.observations");
+  EXPECT_EQ(a, b);
+  const StatId other = stats.counter_id("noc.flits_injected");
+  EXPECT_FALSE(a == other);
+  // Interleaved interning does not disturb earlier handles.
+  EXPECT_EQ(stats.counter_id("noc.observations"), a);
+}
+
+TEST(Stats, DenseAndStringFacesShareOneCounter) {
+  StatRegistry stats;
+  const StatId id = stats.counter_id("ops");
+  stats.bump(id, 5);
+  stats.bump("ops", 2);
+  stats.bump(id);
+  EXPECT_EQ(stats.counter("ops"), 8u);
+  EXPECT_EQ(stats.counter(id), 8u);
+  // A name first seen by the string face resolves to the same counter.
+  stats.bump("late", 3);
+  EXPECT_EQ(stats.counter(stats.counter_id("late")), 3u);
+}
+
+TEST(Stats, ToTableParityBetweenFaces) {
+  StatRegistry by_string;
+  by_string.bump("alpha", 3);
+  by_string.bump("beta", 7);
+
+  StatRegistry by_id;
+  const StatId alpha = by_id.counter_id("alpha");
+  const StatId beta = by_id.counter_id("beta");
+  // Interned but never bumped: must not add a row.
+  (void)by_id.counter_id("never_bumped");
+  by_id.bump(alpha, 2);
+  by_id.bump(alpha);
+  by_id.bump(beta, 7);
+
+  EXPECT_EQ(by_string.to_table().to_ascii(), by_id.to_table().to_ascii());
+  EXPECT_EQ(by_id.to_table().to_ascii().find("never_bumped"),
+            std::string::npos);
+}
+
+TEST(Stats, ClearZeroesCountersButKeepsIdsValid) {
+  StatRegistry stats;
+  const StatId id = stats.counter_id("x");
+  stats.bump(id, 9);
+  stats.clear();
+  EXPECT_EQ(stats.counter(id), 0u);
+  EXPECT_EQ(stats.counter("x"), 0u);
+  stats.bump(id, 4);  // the handle survives the clear
+  EXPECT_EQ(stats.counter("x"), 4u);
+}
+
 TEST(Stats, CountersAccumulate) {
   StatRegistry stats;
   stats.bump("flits");
@@ -251,10 +305,28 @@ TEST(Histogram, RecordAfterQueryKeepsOrderCorrect) {
 }
 
 TEST(Histogram, EmptyIsZero) {
+  // The empty-histogram contract: all three order statistics (min, max,
+  // percentile) and the moments return 0.0, consistently.
   const Histogram hist;
   EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 0.0);
   EXPECT_DOUBLE_EQ(hist.percentile(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
   EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+}
+
+TEST(Histogram, ClearRestoresEmptyContract) {
+  Histogram hist;
+  hist.record(4.0);
+  hist.record(-2.0);
+  hist.clear();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 0.0);
 }
 
 TEST(Histogram, RegistryClearDropsHistograms) {
