@@ -4,6 +4,11 @@
 
 #include "common/assert.hpp"
 #include "hwmodel/components.hpp"
+// Deliberate TU-level upward call: evaluate_inference consumes a serial
+// PipelineExecutor timeline so the closed-form tables and the operator
+// graph can never drift apart (the one-IR design). The header graph stays
+// acyclic -- pipeline/ includes accel/ headers, never the reverse.
+#include "pipeline/executor.hpp"
 
 namespace nova::accel {
 
@@ -46,6 +51,23 @@ AcceleratorModel make_accelerator(hw::AcceleratorKind kind) {
   return accel;
 }
 
+const std::vector<HostEntry>& host_catalog() {
+  static const std::vector<HostEntry> catalog = {
+      {"react", hw::AcceleratorKind::kReact},
+      {"tpuv3", hw::AcceleratorKind::kTpuV3},
+      {"tpuv4", hw::AcceleratorKind::kTpuV4},
+      {"nvdla", hw::AcceleratorKind::kJetsonNvdla},
+  };
+  return catalog;
+}
+
+std::optional<hw::AcceleratorKind> host_by_name(const std::string& name) {
+  for (const auto& entry : host_catalog()) {
+    if (name == entry.name) return entry.kind;
+  }
+  return std::nullopt;
+}
+
 std::uint64_t inference_cycles(const AcceleratorModel& accel,
                                const workload::ModelWorkload& workload) {
   NOVA_EXPECTS(accel.matrix_units >= 1);
@@ -62,25 +84,15 @@ std::uint64_t inference_cycles(const AcceleratorModel& accel,
   return total;
 }
 
-InferenceEnergy evaluate_inference(const AcceleratorModel& accel,
-                                   const workload::ModelWorkload& workload,
-                                   const ApproximatorChoice& choice) {
+InferenceEnergy inference_energy_from_cycles(const AcceleratorModel& accel,
+                                             std::uint64_t compute_cycles,
+                                             std::uint64_t approx_ops,
+                                             std::uint64_t approx_cycles,
+                                             const ApproximatorChoice& choice) {
   InferenceEnergy result;
-  result.compute_cycles = inference_cycles(accel, workload);
-  result.approx_ops =
-      static_cast<std::uint64_t>(workload.nonlinear.total_approx_ops());
-
-  // Vector-unit throughput: every organization serves one element per
-  // neuron per cycle, fully pipelined (the paper keeps NOVA's latency equal
-  // to the LUT baselines').
-  const auto unit_cfg = hw::paper_unit_config(accel.kind, choice.kind);
-  const std::uint64_t throughput =
-      static_cast<std::uint64_t>(unit_cfg.total_neurons());
-  result.approx_cycles = result.approx_ops == 0
-                             ? 0
-                             : (result.approx_ops + throughput - 1) /
-                                       throughput +
-                                   1;
+  result.compute_cycles = compute_cycles;
+  result.approx_ops = approx_ops;
+  result.approx_cycles = approx_cycles;
 
   // Non-linear work overlaps the GEMM pipeline; runtime is the slower of
   // the two streams.
@@ -100,6 +112,39 @@ InferenceEnergy evaluate_inference(const AcceleratorModel& accel,
   const double leakage_mj =
       hw::leakage_mw(hw::tech22(), cost.area_um2) * runtime_s;
   result.approx_energy_mj = active_mj + leakage_mj;
+  return result;
+}
+
+InferenceEnergy evaluate_inference(const AcceleratorModel& accel,
+                                   const workload::ModelWorkload& workload,
+                                   const ApproximatorChoice& choice) {
+  // The cycle totals come from a serial (overlap-disabled) PipelineExecutor
+  // timeline over the workload's operator graph. The executor's GEMM fold
+  // arithmetic and telescoped vector-stream accounting reproduce the
+  // closed-form totals exactly (regression-tested against
+  // closed_form_cycles), so this refactor is value-neutral for every table
+  // built on top.
+  pipeline::ExecutorConfig exec_config;
+  exec_config.choice = choice;
+  exec_config.overlap = false;
+  const auto timeline = pipeline::PipelineExecutor(accel, exec_config)
+                            .execute(pipeline::graph_of(workload));
+  return inference_energy_from_cycles(accel, timeline.fabric_cycles,
+                                      timeline.approx_ops,
+                                      timeline.vector_cycles, choice);
+}
+
+ClosedFormCycles closed_form_cycles(const AcceleratorModel& accel,
+                                    const workload::ModelWorkload& workload,
+                                    const ApproximatorChoice& choice) {
+  ClosedFormCycles result;
+  result.compute_cycles = inference_cycles(accel, workload);
+  const auto ops =
+      static_cast<std::uint64_t>(workload.nonlinear.total_approx_ops());
+  const auto throughput = static_cast<std::uint64_t>(
+      hw::paper_unit_config(accel.kind, choice.kind).total_neurons());
+  result.approx_cycles =
+      ops == 0 ? 0 : (ops + throughput - 1) / throughput + 1;
   return result;
 }
 

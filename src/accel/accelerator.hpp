@@ -4,7 +4,9 @@
 // the machinery behind Fig 8.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "accel/systolic.hpp"
 #include "hwmodel/calibration.hpp"
@@ -29,6 +31,21 @@ struct AcceleratorModel {
 
 /// The paper's configuration for each host (Table II).
 [[nodiscard]] AcceleratorModel make_accelerator(hw::AcceleratorKind kind);
+
+/// One row of the host catalog: the CLI resolver name and the kind it
+/// resolves to. host_by_name and nova_sim --list both read this table, so
+/// the printed catalog can never drift from what actually resolves.
+struct HostEntry {
+  const char* name;
+  hw::AcceleratorKind kind;
+};
+
+/// The resolvable hosts (Table II order).
+[[nodiscard]] const std::vector<HostEntry>& host_catalog();
+
+/// Resolves a host by CLI name ("react", "tpuv3", "tpuv4", "nvdla").
+[[nodiscard]] std::optional<hw::AcceleratorKind> host_by_name(
+    const std::string& name);
 
 /// Per-inference runtime of a workload on the accelerator: GEMMs distribute
 /// across matrix units (tile-level parallelism, ceil-balanced).
@@ -58,8 +75,35 @@ struct InferenceEnergy {
 
 /// Evaluates one (workload, accelerator, approximator) combination using
 /// the calibrated hardware cost model: approximator energy = marginal
-/// energy-per-op x ops (active) plus its leakage over the runtime.
+/// energy-per-op x ops (active) plus its leakage over the runtime. The
+/// cycle totals come from a serial PipelineExecutor timeline over the
+/// workload's operator graph (value-identical to the closed form below).
 [[nodiscard]] InferenceEnergy evaluate_inference(
+    const AcceleratorModel& accel, const workload::ModelWorkload& workload,
+    const ApproximatorChoice& choice);
+
+/// Runtime/energy roll-up from already-known cycle totals (the tail of
+/// evaluate_inference, shared with pipeline::evaluate_pipeline so a
+/// timeline is never re-executed just to price it).
+[[nodiscard]] InferenceEnergy inference_energy_from_cycles(
+    const AcceleratorModel& accel, std::uint64_t compute_cycles,
+    std::uint64_t approx_ops, std::uint64_t approx_cycles,
+    const ApproximatorChoice& choice);
+
+/// The ORIGINAL closed-form cycle model, kept free of any executor code on
+/// purpose: per-shape fabric folds (inference_cycles) plus
+/// ceil(ops / paper throughput) + 1 pipeline fill. This is the independent
+/// reference the pipeline reconciliation checks (nova_sim --pipeline,
+/// bench_pipeline, pipeline_test) compare executor timelines against -- an
+/// executor bug cannot cancel out of both sides of that comparison.
+struct ClosedFormCycles {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t approx_cycles = 0;
+  [[nodiscard]] std::uint64_t total() const {
+    return compute_cycles + approx_cycles;
+  }
+};
+[[nodiscard]] ClosedFormCycles closed_form_cycles(
     const AcceleratorModel& accel, const workload::ModelWorkload& workload,
     const ApproximatorChoice& choice);
 

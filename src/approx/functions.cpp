@@ -21,17 +21,26 @@ const char* to_string(NonLinearFn fn) {
   return "?";
 }
 
-bool from_string(const std::string& name, NonLinearFn& out) {
-  for (const auto fn :
-       {NonLinearFn::kExp, NonLinearFn::kReciprocal, NonLinearFn::kGelu,
-        NonLinearFn::kTanh, NonLinearFn::kSigmoid, NonLinearFn::kErf,
-        NonLinearFn::kSilu, NonLinearFn::kSoftplus, NonLinearFn::kRsqrt}) {
-    if (name == to_string(fn)) {
-      out = fn;
-      return true;
-    }
+const std::vector<NonLinearFn>& all_functions() {
+  static const std::vector<NonLinearFn> functions = {
+      NonLinearFn::kExp,  NonLinearFn::kReciprocal, NonLinearFn::kGelu,
+      NonLinearFn::kTanh, NonLinearFn::kSigmoid,    NonLinearFn::kErf,
+      NonLinearFn::kSilu, NonLinearFn::kSoftplus,   NonLinearFn::kRsqrt};
+  return functions;
+}
+
+std::optional<NonLinearFn> from_string(const std::string& name) {
+  for (const auto fn : all_functions()) {
+    if (name == to_string(fn)) return fn;
   }
-  return false;
+  return std::nullopt;
+}
+
+bool from_string(const std::string& name, NonLinearFn& out) {
+  const auto fn = from_string(name);
+  if (!fn) return false;
+  out = *fn;
+  return true;
 }
 
 double eval_exact(NonLinearFn fn, double x) {

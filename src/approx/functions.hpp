@@ -3,7 +3,9 @@
 // input domains over which the approximators are fit.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace nova::approx {
 
@@ -25,8 +27,18 @@ enum class NonLinearFn {
 
 [[nodiscard]] const char* to_string(NonLinearFn fn);
 
+/// Every supported function, in declaration order. from_string and the
+/// CLI's --list both iterate this table, so the printed catalog can never
+/// drift from what actually resolves.
+[[nodiscard]] const std::vector<NonLinearFn>& all_functions();
+
 /// Inverse of to_string: resolves a function name ("gelu", "exp", ...).
-/// Returns false when `name` names no known function.
+/// Returns nullopt when `name` names no known function.
+[[nodiscard]] std::optional<NonLinearFn> from_string(const std::string& name);
+
+/// Deprecated out-param form of from_string; returns false when `name`
+/// names no known function.
+[[deprecated("use the std::optional-returning from_string overload")]]
 [[nodiscard]] bool from_string(const std::string& name, NonLinearFn& out);
 
 /// Exact (double-precision) evaluation of the function.

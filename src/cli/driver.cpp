@@ -13,6 +13,8 @@
 #include "common/table.hpp"
 #include "core/overlay.hpp"
 #include "core/vector_unit.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/op_graph.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
 #include "workload/bert.hpp"
@@ -25,22 +27,8 @@ std::optional<std::vector<workload::BertConfig>> resolve_workloads(
     const std::string& name, int seq_len) {
   if (name == "bert" || name == "all")
     return workload::paper_benchmarks(seq_len);
-  workload::BertConfig config;
-  if (workload::by_name(name, seq_len, config)) return {{config}};
-  return std::nullopt;
-}
-
-std::optional<hw::AcceleratorKind> resolve_host(const std::string& name) {
-  if (name == "react") return hw::AcceleratorKind::kReact;
-  if (name == "tpuv3") return hw::AcceleratorKind::kTpuV3;
-  if (name == "tpuv4") return hw::AcceleratorKind::kTpuV4;
-  if (name == "nvdla") return hw::AcceleratorKind::kJetsonNvdla;
-  return std::nullopt;
-}
-
-std::optional<approx::NonLinearFn> resolve_function(const std::string& name) {
-  approx::NonLinearFn fn;
-  if (approx::from_string(name, fn)) return fn;
+  if (const auto config = workload::by_name(name, seq_len))
+    return {{*config}};
   return std::nullopt;
 }
 
@@ -210,6 +198,72 @@ void report_workloads(const Options& options,
   emit(table, options.csv);
 }
 
+/// --pipeline: the operator-graph timeline for one workload -- the
+/// per-node Gantt with fabric/vector overlap and cycle/energy attribution,
+/// plus the serial-vs-overlapped summary and the reconciliation line
+/// against the closed-form model (which the serial timeline matches
+/// exactly by construction).
+/// Returns false when the serial timeline fails to reconcile with the
+/// closed-form model (the caller turns that into a non-zero exit, matching
+/// bench_pipeline's contract).
+[[nodiscard]] bool report_pipeline(const Options& options,
+                                   const workload::BertConfig& config,
+                                   const accel::AcceleratorModel& accel) {
+  const auto graph = pipeline::build_graph(config);
+  const auto eval = pipeline::evaluate_pipeline(
+      accel, graph,
+      accel::ApproximatorChoice{hw::UnitKind::kNovaNoc,
+                                options.breakpoints});
+  const auto& timeline = eval.overlapped;
+  const auto layers = static_cast<sim::Cycle>(timeline.layers);
+  const auto serial_total = std::max<sim::Cycle>(1, timeline.serial_cycles);
+
+  Table table("Pipeline timeline: " + config.name + " on " + accel.name +
+              " (cycles span all " + std::to_string(timeline.layers) +
+              " layers)");
+  table.set_header({"node", "kind", "resource", "start", "finish", "cycles",
+                    "cyc/layer", "share %", "approx ops", "energy mJ"});
+  for (const auto& entry : timeline.entries) {
+    const auto& node = graph.nodes[static_cast<std::size_t>(entry.node)];
+    table.add_row(
+        {node.label, pipeline::to_string(node.kind),
+         pipeline::to_string(entry.resource), std::to_string(entry.start),
+         std::to_string(entry.finish), std::to_string(entry.cycles),
+         std::to_string(entry.cycles / layers),
+         Table::num(100.0 * static_cast<double>(entry.cycles) /
+                        static_cast<double>(serial_total),
+                    2),
+         std::to_string(entry.approx_ops), Table::num(entry.energy_mj, 4)});
+  }
+  emit(table, options.csv);
+
+  Table summary("Pipeline summary: " + config.name + " on " + accel.name);
+  summary.set_header({"metric", "value"});
+  summary.add_row({"fabric cycles (GEMMs)",
+                   std::to_string(timeline.fabric_cycles)});
+  summary.add_row({"vector cycles (softmax/GELU/layernorm)",
+                   std::to_string(timeline.vector_cycles)});
+  summary.add_row({"serial span (overlap off)",
+                   std::to_string(timeline.serial_cycles)});
+  summary.add_row({"overlapped span (double-buffered)",
+                   std::to_string(timeline.span_cycles)});
+  summary.add_row({"overlap win", Table::num(eval.overlap_win, 3)});
+  summary.add_row({"overlapped runtime (ms)",
+                   Table::num(eval.overlapped_runtime_ms, 3)});
+  // Independent closed-form reference, computed WITHOUT the executor --
+  // evaluate_inference itself consumes a timeline now, so comparing
+  // against it alone could hide an executor bug on both sides.
+  const auto closed = accel::closed_form_cycles(
+      accel, workload::model_workload(config),
+      accel::ApproximatorChoice{hw::UnitKind::kNovaNoc,
+                                options.breakpoints});
+  const bool reconciled = eval.serial.span_cycles == closed.total();
+  summary.add_row({"reconciles with closed form",
+                   reconciled ? "exact" : "MISMATCH"});
+  emit(summary, options.csv);
+  return reconciled;
+}
+
 /// --serve: the batched inference-serving engine over a pool of simulated
 /// NOVA instances. Emits a summary table (throughput + latency percentiles)
 /// and a per-instance utilization table; output is deterministic for a
@@ -250,6 +304,7 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
 
   serve::ServeConfig serve_cfg;
   serve_cfg.nova = cfg;
+  serve_cfg.host = host;
   serve_cfg.instances = options.instances;
   serve_cfg.threads = options.threads;
   serve_cfg.max_batch = options.max_batch;
@@ -323,13 +378,13 @@ int run(const Options& options) {
                  options.workload.c_str());
     return 2;
   }
-  const auto host = resolve_host(options.host);
+  const auto host = accel::host_by_name(options.host);
   if (!host) {
     std::fprintf(stderr, "nova_sim: unknown host '%s' (try --list)\n",
                  options.host.c_str());
     return 2;
   }
-  const auto fn = resolve_function(options.function);
+  const auto fn = approx::from_string(options.function);
   if (!fn) {
     std::fprintf(stderr, "nova_sim: unknown function '%s' (try --list)\n",
                  options.function.c_str());
@@ -353,20 +408,45 @@ int run(const Options& options) {
   report_deployment(options, overlay, cfg, fit);
   report_accuracy(options, *fn);
   if (options.run_cycle_sim) report_cycle_sim(options, cfg, fit);
-  report_workloads(options, *workloads, accel::make_accelerator(*host));
+  const auto accel_model = accel::make_accelerator(*host);
+  report_workloads(options, *workloads, accel_model);
+  if (options.pipeline) {
+    bool all_reconciled = true;
+    for (const auto& config : *workloads) {
+      all_reconciled &= report_pipeline(options, config, accel_model);
+    }
+    if (!all_reconciled) {
+      std::fprintf(stderr,
+                   "nova_sim: pipeline timeline diverged from the "
+                   "closed-form model (see MISMATCH rows)\n");
+      return 1;
+    }
+  }
   return 0;
 }
 
 void print_catalog() {
+  // Everything below is read from the same tables the resolvers use
+  // (workload::benchmark_catalog, accel::host_catalog,
+  // approx::all_functions), so this listing can never drift from what
+  // nova_sim actually accepts.
   std::puts("workloads:");
-  std::puts("  bert (alias: all)  -- the five Fig 8 benchmarks below");
-  std::puts("  bert-tiny, bert-mini, roberta, mobilebert-base, "
-            "mobilebert-tiny");
+  std::puts("  bert (alias: all)  -- all paper benchmarks below");
+  for (const auto& entry : workload::benchmark_catalog()) {
+    if (entry.alias != nullptr) {
+      std::printf("  %s (alias: %s)\n", entry.name, entry.alias);
+    } else {
+      std::printf("  %s\n", entry.name);
+    }
+  }
   std::puts("hosts:");
-  std::puts("  react, tpuv3, tpuv4, nvdla");
+  for (const auto& entry : accel::host_catalog()) {
+    std::printf("  %-6s -- %s\n", entry.name, hw::to_string(entry.kind));
+  }
   std::puts("functions:");
-  std::puts("  exp, reciprocal, gelu, tanh, sigmoid, erf, silu, softplus, "
-            "rsqrt");
+  for (const auto fn : approx::all_functions()) {
+    std::printf("  %s\n", approx::to_string(fn));
+  }
 }
 
 }  // namespace nova::cli

@@ -1,10 +1,39 @@
 #include "cli/options.hpp"
 
+#include <vector>
+
+#include "accel/accelerator.hpp"
+#include "approx/functions.hpp"
 #include "common/parse.hpp"
+#include "workload/bert.hpp"
 
 namespace nova::cli {
 
 namespace {
+
+/// Joins catalog items with `sep`, wrapping onto `indent`-prefixed
+/// continuation lines so the usage text stays inside 79 columns.
+std::string wrap_items(const std::vector<std::string>& items,
+                       const char* sep, std::size_t width,
+                       const std::string& indent) {
+  std::string out;
+  std::string line = indent;
+  bool first_in_line = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    std::string piece = items[i];
+    if (i + 1 < items.size()) piece += sep;
+    if (!first_in_line && line.size() + piece.size() > width) {
+      while (!line.empty() && line.back() == ' ') line.pop_back();
+      out += line + "\n";
+      line = indent;
+      first_in_line = true;
+    }
+    line += piece;
+    first_in_line = false;
+  }
+  out += line;
+  return out;
+}
 
 /// Parses a bounded integer flag value. Bounds keep derived quantities
 /// (e.g. neurons_per_router * waves) comfortably inside int range.
@@ -51,7 +80,24 @@ bool parse_double(const std::string& flag, const char* text, double min_value,
 }  // namespace
 
 std::string usage() {
-  return
+  // The workload/host/function lists come from the resolver catalogs, so
+  // --help can never drift from what actually parses (same sourcing as
+  // --list).
+  const std::string indent(21, ' ');
+  std::vector<std::string> workloads;
+  for (const auto& entry : workload::benchmark_catalog()) {
+    workloads.emplace_back(entry.name);
+  }
+  std::vector<std::string> hosts;
+  for (const auto& entry : accel::host_catalog()) {
+    hosts.emplace_back(entry.name);
+  }
+  std::vector<std::string> functions;
+  for (const auto fn : approx::all_functions()) {
+    functions.emplace_back(approx::to_string(fn));
+  }
+
+  std::string text =
       "nova_sim -- NOVA attention-approximator simulation driver\n"
       "\n"
       "Evaluates the paper's BERT-family workloads on a host accelerator\n"
@@ -62,17 +108,25 @@ std::string usage() {
       "instances and reports latency percentiles and throughput.\n"
       "\n"
       "Usage: nova_sim [options]\n"
-      "  --workload NAME    bert|all (five paper benchmarks) or one of\n"
-      "                     bert-tiny, bert-mini, roberta, mobilebert-base,\n"
-      "                     mobilebert-tiny            (default: bert)\n"
+      "  --workload NAME    bert|all (all paper benchmarks) or one of\n";
+  text += wrap_items(workloads, ", ", 74, indent);
+  text += "   (default: bert)\n";
+  text +=
       "  --seq N            sequence length            (default: 128)\n"
       "  --breakpoints N    PWL segments per lookup    (default: 16)\n"
       "  --pairs-per-flit N NoC link width in (slope,bias) pairs per flit\n"
       "                     (paper: 8 = 257 bits)      (default: 8)\n"
-      "  --routers N        override host router count (default: host config)\n"
-      "  --host NAME        react|tpuv3|tpuv4|nvdla    (default: tpuv4)\n"
-      "  --function NAME    exp|reciprocal|gelu|tanh|sigmoid|erf|silu|\n"
-      "                     softplus|rsqrt             (default: gelu)\n"
+      "  --routers N        override host router count (default: host config)\n";
+  text += "  --host NAME        " + wrap_items(hosts, "|", 74, "");
+  text += "    (default: tpuv4)\n";
+  text += "  --function NAME    one of the catalog below (default: gelu)\n";
+  text += wrap_items(functions, "|", 74, indent);
+  text += "\n";
+  text +=
+      "  --pipeline         print the attention-pipeline operator-graph\n"
+      "                     timeline per workload: per-node Gantt with\n"
+      "                     fabric/vector overlap and cycle/energy\n"
+      "                     attribution\n"
       "  --waves N          PE waves in the cycle sim  (default: 4)\n"
       "  --seed N           RNG seed for synthetic inputs and serve traffic\n"
       "                     (default: 42)\n"
@@ -99,6 +153,7 @@ std::string usage() {
       "  nova_sim --workload mobilebert-base --seq 1024 --host tpuv3\n"
       "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n"
       "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n";
+  return text;
 }
 
 bool parse_options(int argc, const char* const* argv, Options& options,
@@ -125,6 +180,8 @@ bool parse_options(int argc, const char* const* argv, Options& options,
       options.csv = true;
     } else if (flag == "--no-sim") {
       options.run_cycle_sim = false;
+    } else if (flag == "--pipeline") {
+      options.pipeline = true;
     } else if (flag == "--serve") {
       options.serve = true;
     } else if (flag == "--workload") {

@@ -1,0 +1,219 @@
+#include "pipeline/op_graph.hpp"
+
+#include "common/assert.hpp"
+
+namespace nova::pipeline {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGemm: return "gemm";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kGelu: return "gelu";
+    case OpKind::kLayerNormScale: return "layernorm";
+  }
+  return "?";
+}
+
+namespace {
+
+OpNode gemm_node(std::string label, std::int64_t m, std::int64_t k,
+                 std::int64_t n, std::int64_t repeat, std::vector<int> deps) {
+  OpNode node;
+  node.kind = OpKind::kGemm;
+  node.label = std::move(label);
+  node.m = m;
+  node.k = k;
+  node.n = n;
+  node.repeat = repeat;
+  node.deps = std::move(deps);
+  return node;
+}
+
+}  // namespace
+
+OpGraph build_graph(const workload::BertConfig& config) {
+  NOVA_EXPECTS(config.layers >= 1);
+  NOVA_EXPECTS(config.heads >= 1);
+  NOVA_EXPECTS(config.hidden % config.heads == 0);
+  OpGraph graph;
+  graph.config = config;
+  graph.layer_repeat = config.layers;
+
+  const std::int64_t s = config.seq_len;
+  const std::int64_t h = config.hidden;
+  const std::int64_t heads = config.heads;
+  const std::int64_t head_dim = h / heads;
+  const std::int64_t ffn = config.ffn;
+  const std::int64_t stacks = config.ffn_stacks;
+
+  auto& nodes = graph.nodes;
+  const auto last = [&nodes]() -> std::vector<int> {
+    return nodes.empty() ? std::vector<int>{}
+                         : std::vector<int>{static_cast<int>(nodes.size()) - 1};
+  };
+
+  // MobileBERT-style blocks project from the inter-block bottleneck width
+  // into the wider body; standard blocks start at `hidden` directly.
+  if (config.bottleneck > 0) {
+    nodes.push_back(
+        gemm_node("bottleneck-in", s, config.bottleneck, h, 1, {}));
+  }
+
+  // Attention body: QKV projections, per-head score and context GEMMs with
+  // the softmax between them, the output projection, then the residual
+  // layernorm (one rsqrt per row on the vector unit).
+  nodes.push_back(gemm_node("attn-qkv", s, h, h, 3, last()));
+  nodes.push_back(
+      gemm_node("attn-scores QK^T", s, head_dim, s, heads, last()));
+
+  OpNode softmax;
+  softmax.kind = OpKind::kSoftmax;
+  softmax.label = "attn-softmax";
+  softmax.rows = heads * s;  // one row per (head, query position)
+  softmax.row_len = s;
+  softmax.deps = last();
+  nodes.push_back(std::move(softmax));
+
+  nodes.push_back(
+      gemm_node("attn-context AV", s, s, head_dim, heads, last()));
+  nodes.push_back(gemm_node("attn-proj", s, h, h, 1, last()));
+
+  OpNode ln_attn;
+  ln_attn.kind = OpKind::kLayerNormScale;
+  ln_attn.label = "layernorm-attn";
+  ln_attn.rows = s;
+  ln_attn.deps = last();
+  nodes.push_back(std::move(ln_attn));
+
+  // Feed-forward stacks with GELU between the two GEMMs, then the second
+  // residual layernorm.
+  nodes.push_back(gemm_node("ffn-up", s, h, ffn, stacks, last()));
+
+  OpNode gelu;
+  gelu.kind = OpKind::kGelu;
+  gelu.label = "ffn-gelu";
+  gelu.elements = stacks * s * ffn;
+  gelu.deps = last();
+  nodes.push_back(std::move(gelu));
+
+  nodes.push_back(gemm_node("ffn-down", s, ffn, h, stacks, last()));
+
+  OpNode ln_ffn;
+  ln_ffn.kind = OpKind::kLayerNormScale;
+  ln_ffn.label = "layernorm-ffn";
+  ln_ffn.rows = s;
+  ln_ffn.deps = last();
+  nodes.push_back(std::move(ln_ffn));
+
+  if (config.bottleneck > 0) {
+    nodes.push_back(
+        gemm_node("bottleneck-out", s, h, config.bottleneck, 1, last()));
+  }
+
+  std::string reason;
+  NOVA_ASSERT(validate(graph, reason));
+  return graph;
+}
+
+OpGraph graph_of(const workload::ModelWorkload& workload) {
+  OpGraph graph;
+  graph.config = workload.config;
+  graph.layer_repeat = 1;  // flat counts are already per inference
+
+  auto& nodes = graph.nodes;
+  const auto last = [&nodes]() -> std::vector<int> {
+    return nodes.empty() ? std::vector<int>{}
+                         : std::vector<int>{static_cast<int>(nodes.size()) - 1};
+  };
+  for (const auto& g : workload.gemms) {
+    nodes.push_back(gemm_node(g.label, g.m, g.k, g.n, g.count, last()));
+  }
+  const auto& nl = workload.nonlinear;
+  if (nl.softmax_rows > 0) {
+    OpNode softmax;
+    softmax.kind = OpKind::kSoftmax;
+    softmax.label = "softmax";
+    softmax.rows = nl.softmax_rows;
+    softmax.row_len = nl.softmax_row_len;
+    softmax.deps = last();
+    nodes.push_back(std::move(softmax));
+  }
+  if (nl.gelu_elements > 0) {
+    OpNode gelu;
+    gelu.kind = OpKind::kGelu;
+    gelu.label = "gelu";
+    gelu.elements = nl.gelu_elements;
+    gelu.deps = last();
+    nodes.push_back(std::move(gelu));
+  }
+  if (nl.layernorm_rsqrt_ops > 0) {
+    OpNode ln;
+    ln.kind = OpKind::kLayerNormScale;
+    ln.label = "layernorm";
+    ln.rows = nl.layernorm_rsqrt_ops;
+    ln.deps = last();
+    nodes.push_back(std::move(ln));
+  }
+  return graph;
+}
+
+workload::ModelWorkload flatten(const OpGraph& graph) {
+  workload::ModelWorkload wl;
+  wl.config = graph.config;
+  const std::int64_t layers = graph.layer_repeat;
+  for (const auto& node : graph.nodes) {
+    switch (node.kind) {
+      case OpKind::kGemm:
+        wl.gemms.push_back(
+            {node.label, node.m, node.k, node.n, node.repeat * layers});
+        break;
+      case OpKind::kSoftmax:
+        // The flat profile can only carry ONE row length; summing rows
+        // while keeping the widest length would silently inflate the op
+        // total, so mixed-length graphs are a contract violation here
+        // (callers with heterogeneous softmax shapes must keep the graph
+        // view rather than flattening).
+        NOVA_EXPECTS(wl.nonlinear.softmax_rows == 0 ||
+                     wl.nonlinear.softmax_row_len == node.row_len);
+        wl.nonlinear.softmax_rows += node.rows * layers;
+        wl.nonlinear.softmax_row_len = node.row_len;
+        break;
+      case OpKind::kGelu:
+        wl.nonlinear.gelu_elements += node.elements * layers;
+        break;
+      case OpKind::kLayerNormScale:
+        wl.nonlinear.layernorm_rsqrt_ops += node.rows * layers;
+        break;
+    }
+  }
+  return wl;
+}
+
+bool validate(const OpGraph& graph, std::string& reason) {
+  if (graph.layer_repeat < 1) {
+    reason = "layer_repeat must be >= 1";
+    return false;
+  }
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const auto& node = graph.nodes[i];
+    if (node.is_gemm() &&
+        (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1)) {
+      reason = "gemm node '" + node.label + "' has a non-positive dimension";
+      return false;
+    }
+    if (node.rows < 0 || node.row_len < 0 || node.elements < 0) {
+      reason = "node '" + node.label + "' has a negative volume";
+      return false;
+    }
+    for (const int dep : node.deps) {
+      if (dep < 0 || dep >= static_cast<int>(i)) {
+        reason = "node '" + node.label +
+                 "' has a dep that is not a strict predecessor";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace nova::pipeline

@@ -1,0 +1,118 @@
+// The attention-pipeline operator graph: ONE intermediate representation of
+// an encoder layer from which every other view of the workload is derived.
+//
+// The repo used to model an attention layer three disconnected ways -- flat
+// GEMM/non-linear shape lists (workload/bert), closed-form fabric cycle
+// counts (accel/accelerator), and an isolated cycle-accurate softmax
+// (core/softmax_engine). `OpGraph` unifies them: one encoder layer becomes a
+// small DAG of GEMM / softmax / GELU / layernorm-scale nodes with explicit
+// data dependencies, replicated `layer_repeat` times per inference. The
+// legacy flat views (`workload::model_workload`) are now thin flattenings of
+// this graph, and the `PipelineExecutor` (executor.hpp) walks it to produce
+// overlap-aware, per-node cycle/energy timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/bert.hpp"
+
+namespace nova::pipeline {
+
+/// Operator kinds an encoder layer is built from. kGemm executes on the
+/// host compute fabric; the other three stream through the NOVA vector
+/// unit (softmax decomposes into exp + reciprocal + scale element ops,
+/// layernorm contributes one rsqrt lookup per row -- the same accounting as
+/// workload::NonLinearProfile).
+enum class OpKind { kGemm, kSoftmax, kGelu, kLayerNormScale };
+
+[[nodiscard]] const char* to_string(OpKind kind);
+
+/// One operator of the encoder-layer graph. Volumes are per encoder layer;
+/// the graph's `layer_repeat` scales them to a full inference.
+struct OpNode {
+  OpKind kind = OpKind::kGemm;
+  std::string label;
+  /// GEMM shape (m x k) * (k x n); `repeat` executions per layer (e.g. one
+  /// per head for the score/context GEMMs, 3 for the fused QKV projection).
+  std::int64_t m = 0;
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::int64_t repeat = 1;
+  /// Softmax: `rows` independent rows of `row_len` logits per layer.
+  std::int64_t rows = 0;
+  std::int64_t row_len = 0;
+  /// GELU: activation elements per layer. LayerNormScale: `rows` carries
+  /// the per-layer rsqrt lookup count instead.
+  std::int64_t elements = 0;
+  /// Data dependencies: indices of producer nodes in OpGraph::nodes. Nodes
+  /// are stored in topological order, so every dep index is smaller than
+  /// the node's own index.
+  std::vector<int> deps;
+
+  [[nodiscard]] bool is_gemm() const { return kind == OpKind::kGemm; }
+
+  /// MACs this node executes on the fabric, per encoder layer.
+  [[nodiscard]] std::int64_t macs_per_layer() const {
+    return is_gemm() ? m * k * n * repeat : 0;
+  }
+
+  /// Vector-unit element operations (one lookup + one MAC each) per layer:
+  /// a softmax over n elements costs 2n+1 (n exp, 1 reciprocal, n scale) --
+  /// identical to workload::NonLinearProfile::total_approx_ops.
+  [[nodiscard]] std::int64_t approx_ops_per_layer() const {
+    switch (kind) {
+      case OpKind::kGemm: return 0;
+      case OpKind::kSoftmax: return rows * (2 * row_len + 1);
+      case OpKind::kGelu: return elements;
+      case OpKind::kLayerNormScale: return rows;
+    }
+    return 0;
+  }
+};
+
+/// The operator graph of one encoder layer, plus the config it was expanded
+/// from and the number of identical layers per inference.
+struct OpGraph {
+  workload::BertConfig config;
+  std::vector<OpNode> nodes;  ///< topologically ordered
+  int layer_repeat = 1;
+
+  [[nodiscard]] std::int64_t total_macs() const {
+    std::int64_t total = 0;
+    for (const auto& node : nodes) total += node.macs_per_layer();
+    return total * layer_repeat;
+  }
+  [[nodiscard]] std::int64_t total_approx_ops() const {
+    std::int64_t total = 0;
+    for (const auto& node : nodes) total += node.approx_ops_per_layer();
+    return total * layer_repeat;
+  }
+};
+
+/// Expands a BERT-family config into its encoder-layer operator graph: the
+/// (optional bottleneck-in ->) QKV -> QK^T -> softmax -> AV -> proj ->
+/// layernorm -> ffn-up -> GELU -> ffn-down -> layernorm (-> bottleneck-out)
+/// chain, with per-layer volumes and `layer_repeat = config.layers`.
+[[nodiscard]] OpGraph build_graph(const workload::BertConfig& config);
+
+/// Adapts an arbitrary flat workload (possibly hand-built, not expanded
+/// from a BertConfig) into a chain graph: one GEMM node per GemmShape in
+/// list order, then the softmax / GELU / layernorm nodes of its
+/// NonLinearProfile. Volumes match the flat lists exactly, so executor
+/// totals over this graph reconcile with the closed-form model for ANY
+/// ModelWorkload, not just the zoo.
+[[nodiscard]] OpGraph graph_of(const workload::ModelWorkload& workload);
+
+/// Flattens a graph back into the legacy flat view: GEMM shapes with
+/// per-inference counts (repeat x layer_repeat) and the summed non-linear
+/// profile. workload::model_workload is exactly flatten(build_graph(cfg)),
+/// which is what keeps the three views consistent by construction.
+[[nodiscard]] workload::ModelWorkload flatten(const OpGraph& graph);
+
+/// Structural sanity: deps in range and strictly back-pointing (topological
+/// order), volumes non-negative. Returns false with a reason on violation.
+[[nodiscard]] bool validate(const OpGraph& graph, std::string& reason);
+
+}  // namespace nova::pipeline

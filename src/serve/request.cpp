@@ -94,17 +94,18 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
       return false;
     }
     req.workload = workload_text;
-    workload::BertConfig config;
-    if (!workload::by_name(workload_text, 8, config)) {
+    if (!workload::by_name(workload_text, 8).has_value()) {
       error = "trace line " + std::to_string(line_no) +
               ": unknown workload '" + workload_text + "'";
       return false;
     }
-    if (!approx::from_string(fn_text, req.function)) {
+    const auto fn = approx::from_string(fn_text);
+    if (!fn) {
       error = "trace line " + std::to_string(line_no) +
               ": unknown function '" + fn_text + "'";
       return false;
     }
+    req.function = *fn;
     // NaN/inf arrivals would poison the sort and every latency statistic.
     if (!std::isfinite(req.arrival_us) || req.arrival_us < 0.0 ||
         req.seq_len < 1 || req.breakpoints < 2) {

@@ -8,10 +8,12 @@
 #include <tuple>
 #include <utility>
 
+#include "accel/accelerator.hpp"
 #include "approx/mlp_fitter.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 #include "core/sim_session.hpp"
+#include "pipeline/executor.hpp"
 #include "workload/bert.hpp"
 
 namespace nova::serve {
@@ -55,6 +57,12 @@ BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
   NOVA_EXPECTS(config.max_batch >= 1);
   NOVA_EXPECTS(config.sim_elements_cap >= 1);
   NOVA_EXPECTS(config.nova.accel_freq_mhz > 0.0);
+  // Graph pricing counts fabric cycles at the host's clock and converts
+  // the whole span at nova.accel_freq_mhz; a host/NOVA clock mismatch
+  // would silently mis-scale the GEMM share of every latency, so the two
+  // domains must agree (make_overlay(host).nova pairs them correctly).
+  NOVA_EXPECTS(accel::make_accelerator(config.host).freq_mhz ==
+               config.nova.accel_freq_mhz);
 }
 
 void BatchScheduler::price_requests(
@@ -99,13 +107,15 @@ void BatchScheduler::price_requests(
     const auto& table = library.get(function, breakpoints);
     const auto domain = table.domain();
 
-    // The request's work: the non-linear element operations of one
-    // inference of its workload, spread evenly over the routers.
-    workload::BertConfig model;
-    const bool known = workload::by_name(workload_name, seq_len, model);
-    NOVA_EXPECTS(known);
-    const std::int64_t total_ops =
-        workload::model_workload(model).nonlinear.total_approx_ops();
+    // The request's work: the full operator graph of one inference of its
+    // workload. The cycle-accurate slice below measures how fast THIS
+    // deployment actually streams elements through the NOVA unit; the
+    // graph walk then prices GEMM fabric time and non-linear waves
+    // together, overlap-aware.
+    const auto model = workload::by_name(workload_name, seq_len);
+    NOVA_EXPECTS(model.has_value());
+    const auto graph = pipeline::build_graph(*model);
+    const std::int64_t total_ops = graph.total_approx_ops();
     const std::int64_t per_router =
         (total_ops + config_.nova.routers - 1) / config_.nova.routers;
     const std::int64_t simulated =
@@ -124,26 +134,40 @@ void BatchScheduler::price_requests(
     core::SimSession session(config_.nova, table, inputs);
     const auto result = session.run();
 
-    // Steady-state extrapolation for the unsimulated tail: once the
-    // two-stage pipeline is filled, waves retire at a constant per-wave
-    // rate, measured here net of the fill latency.
-    double cycles = static_cast<double>(result.accel_cycles);
-    if (per_router > simulated) {
-      const auto waves_sim =
-          static_cast<double>(result.stats.counter("unit.waves"));
-      const double fill =
-          static_cast<double>(result.wave_latency_cycles - 1);
-      const double per_wave =
-          waves_sim > 1.0 ? (cycles - 1.0 - fill) / (waves_sim - 1.0)
-                          : cycles;
-      const double neurons =
-          static_cast<double>(config_.nova.neurons_per_router);
-      const double extra_waves = std::ceil(
-          static_cast<double>(per_router - simulated) / neurons);
-      cycles += extra_waves * per_wave;
-    }
+    // Steady-state wave rate of this deployment: once the two-stage
+    // pipeline is filled, waves retire at a constant per-wave rate,
+    // measured here net of the fill latency. This calibrates the graph
+    // walk's vector resource, replacing the ideal one-element-per-neuron
+    // assumption with the simulated reality.
+    const double cycles = static_cast<double>(result.accel_cycles);
+    const auto waves_sim =
+        static_cast<double>(result.stats.counter("unit.waves"));
+    const double fill = static_cast<double>(result.wave_latency_cycles - 1);
+    const double per_wave = waves_sim > 1.0
+                                ? (cycles - 1.0 - fill) / (waves_sim - 1.0)
+                                : std::max(cycles, 1.0);
+    const double elems_per_wave =
+        static_cast<double>(config_.nova.routers) *
+        static_cast<double>(config_.nova.neurons_per_router);
 
-    priced[tuple_index] = Priced{total_ops, cycles,
+    // Price the whole inference from the operator graph: GEMMs on the host
+    // fabric, non-linear waves on the measured NOVA rate, double-buffered
+    // overlap between the two streams.
+    pipeline::ExecutorConfig exec_config;
+    exec_config.choice =
+        accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, breakpoints};
+    exec_config.overlap = true;
+    exec_config.vector_elems_per_cycle =
+        elems_per_wave / std::max(per_wave, 1e-9);
+    exec_config.vector_fill_cycles = static_cast<sim::Cycle>(
+        std::max(1, result.wave_latency_cycles - 1));
+    const auto timeline =
+        pipeline::PipelineExecutor(accel::make_accelerator(config_.host),
+                                   exec_config)
+            .execute(graph);
+
+    priced[tuple_index] = Priced{total_ops,
+                                 static_cast<double>(timeline.span_cycles),
                                  result.wave_latency_cycles};
   };
 

@@ -5,17 +5,18 @@
 // Two-phase design, so the outcome is bit-identical for any worker-thread
 // count:
 //
-//   1. Pricing (parallel): every request carries the non-linear
-//      element-operation volume of one inference of its workload at its
-//      sequence length (workload::model_workload). Up to sim_elements_cap
-//      elements per router are run through the cycle-accurate
-//      core::SimSession over inputs synthesized deterministically from
-//      (config.seed, request shape); longer streams extrapolate at the run's
-//      measured steady-state wave rate (the pipeline issues waves at a
-//      constant rate once filled, so the extension is tight). Requests are
-//      independent, so the worker pool shares nothing but the read-only
-//      PWL tables (pre-warmed before fan-out; PwlLibrary::get is
-//      additionally mutex-guarded).
+//   1. Pricing (parallel): every request is priced from its workload's
+//      full attention-pipeline operator graph (pipeline::build_graph) on
+//      the configured host fabric -- not from the non-linear stream alone.
+//      Up to sim_elements_cap elements per router are run through the
+//      cycle-accurate core::SimSession over inputs synthesized
+//      deterministically from (config.seed, request shape); the run's
+//      measured steady-state wave rate and pipeline fill then parameterize
+//      a PipelineExecutor walk of the graph, whose overlap-aware makespan
+//      (fabric GEMM tiles overlapping NOVA waves) is the request's service
+//      time. Requests are independent, so the worker pool shares nothing
+//      but the read-only PWL tables (pre-warmed before fan-out;
+//      PwlLibrary::get is additionally mutex-guarded).
 //
 //   2. Dispatch (serial, deterministic): an event-driven loop assigns
 //      requests FIFO to the earliest-free instance. When an instance picks
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "core/vector_unit.hpp"
+#include "hwmodel/vector_unit_cost.hpp"
 #include "serve/request.hpp"
 #include "sim/stats.hpp"
 
@@ -42,6 +44,10 @@ namespace nova::serve {
 struct ServeConfig {
   /// Hardware configuration of every instance in the pool.
   core::NovaConfig nova;
+  /// Host accelerator whose compute fabric executes the GEMM side of each
+  /// request's operator graph (the NOVA unit `nova` serves its non-linear
+  /// side).
+  hw::AcceleratorKind host = hw::AcceleratorKind::kTpuV4;
   /// Simulated accelerator instances served by the pool.
   int instances = 1;
   /// Worker threads pricing requests in phase 1 (does not affect results).
@@ -64,8 +70,9 @@ struct RequestOutcome {
   int batch_size = 1;
   /// Non-linear element operations one inference of this request costs.
   std::int64_t approx_ops = 0;
-  /// Standalone service cost from the cycle-accurate pricing run
-  /// (steady-state-extrapolated past sim_elements_cap).
+  /// Standalone service cost: the overlap-aware makespan of the request's
+  /// operator-graph timeline, with the vector-unit rate and fill measured
+  /// by the cycle-accurate pricing run.
   sim::Cycle service_cycles = 0;
   int wave_latency_cycles = 0;
   double service_us = 0.0;

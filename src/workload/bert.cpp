@@ -1,6 +1,6 @@
 #include "workload/bert.hpp"
 
-#include "common/assert.hpp"
+#include "pipeline/op_graph.hpp"
 
 namespace nova::workload {
 
@@ -36,64 +36,39 @@ std::vector<BertConfig> paper_benchmarks(int seq_len) {
           roberta_base(seq_len), bert_tiny(seq_len), bert_mini(seq_len)};
 }
 
-bool by_name(const std::string& name, int seq_len, BertConfig& out) {
-  if (name == "bert-tiny") {
-    out = bert_tiny(seq_len);
-  } else if (name == "bert-mini") {
-    out = bert_mini(seq_len);
-  } else if (name == "roberta" || name == "roberta-base") {
-    out = roberta_base(seq_len);
-  } else if (name == "mobilebert" || name == "mobilebert-base") {
-    out = mobilebert_base(seq_len);
-  } else if (name == "mobilebert-tiny") {
-    out = mobilebert_tiny(seq_len);
-  } else {
-    return false;
+const std::vector<BenchmarkEntry>& benchmark_catalog() {
+  static const std::vector<BenchmarkEntry> catalog = {
+      {"mobilebert-base", "mobilebert", mobilebert_base},
+      {"mobilebert-tiny", nullptr, mobilebert_tiny},
+      {"roberta", "roberta-base", roberta_base},
+      {"bert-tiny", nullptr, bert_tiny},
+      {"bert-mini", nullptr, bert_mini},
+  };
+  return catalog;
+}
+
+std::optional<BertConfig> by_name(const std::string& name, int seq_len) {
+  for (const auto& entry : benchmark_catalog()) {
+    if (name == entry.name ||
+        (entry.alias != nullptr && name == entry.alias)) {
+      return entry.make(seq_len);
+    }
   }
+  return std::nullopt;
+}
+
+bool by_name(const std::string& name, int seq_len, BertConfig& out) {
+  const auto config = by_name(name, seq_len);
+  if (!config) return false;
+  out = *config;
   return true;
 }
 
 ModelWorkload model_workload(const BertConfig& config) {
-  NOVA_EXPECTS(config.layers >= 1);
-  NOVA_EXPECTS(config.hidden % config.heads == 0);
-  ModelWorkload wl;
-  wl.config = config;
-  const std::int64_t s = config.seq_len;
-  const std::int64_t h = config.hidden;
-  const std::int64_t heads = config.heads;
-  const std::int64_t head_dim = h / heads;
-  const std::int64_t layers = config.layers;
-  const std::int64_t ffn = config.ffn;
-
-  // MobileBERT-style blocks project from the inter-block bottleneck width
-  // into the wider body and back; standard blocks operate at `hidden`.
-  if (config.bottleneck > 0) {
-    const std::int64_t b = config.bottleneck;
-    wl.gemms.push_back({"bottleneck-in", s, b, h, layers});
-    wl.gemms.push_back({"bottleneck-out", s, h, b, layers});
-  }
-
-  // Attention projections (Q, K, V) and the output projection.
-  wl.gemms.push_back({"attn-qkv", s, h, h, 3 * layers});
-  wl.gemms.push_back({"attn-proj", s, h, h, layers});
-  // Score and context GEMMs, per head.
-  wl.gemms.push_back({"attn-scores QK^T", s, head_dim, s, heads * layers});
-  wl.gemms.push_back({"attn-context AV", s, s, head_dim, heads * layers});
-  // Feed-forward stacks with GeLU between the two GEMMs.
-  wl.gemms.push_back(
-      {"ffn-up", s, h, ffn, layers * config.ffn_stacks});
-  wl.gemms.push_back(
-      {"ffn-down", s, ffn, h, layers * config.ffn_stacks});
-
-  // Non-linear totals (per inference):
-  // one softmax row per (layer, head, query position), each over seq_len;
-  wl.nonlinear.softmax_rows = layers * heads * s;
-  wl.nonlinear.softmax_row_len = s;
-  // GeLU after every ffn-up output element;
-  wl.nonlinear.gelu_elements = layers * config.ffn_stacks * s * ffn;
-  // two layer norms per block, one rsqrt per row each.
-  wl.nonlinear.layernorm_rsqrt_ops = 2 * layers * s;
-  return wl;
+  // The flat GEMM list and non-linear totals are a flattening of the
+  // attention-pipeline operator graph -- one IR, three views (shapes,
+  // closed-form cycles, executor timelines).
+  return pipeline::flatten(pipeline::build_graph(config));
 }
 
 }  // namespace nova::workload

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,9 +36,28 @@ struct BertConfig {
 /// All five, in the paper's Fig 8 order.
 [[nodiscard]] std::vector<BertConfig> paper_benchmarks(int seq_len);
 
+/// One row of the benchmark catalog: the canonical resolver name, an
+/// optional accepted alias (nullptr when none), and the config factory.
+/// by_name and the CLI's --list both read this table, so the printed
+/// catalog can never drift from what actually resolves.
+struct BenchmarkEntry {
+  const char* name;
+  const char* alias;
+  BertConfig (*make)(int seq_len);
+};
+
+/// The resolvable model zoo, in the paper's Fig 8 order.
+[[nodiscard]] const std::vector<BenchmarkEntry>& benchmark_catalog();
+
 /// Resolves a benchmark by its canonical name (e.g. "bert-tiny",
 /// "mobilebert-base"; "roberta" and "mobilebert" aliases accepted).
-/// Returns false when `name` matches no benchmark.
+/// Returns nullopt when `name` matches no benchmark.
+[[nodiscard]] std::optional<BertConfig> by_name(const std::string& name,
+                                                int seq_len);
+
+/// Deprecated out-param form of by_name; returns false when `name` matches
+/// no benchmark.
+[[deprecated("use the std::optional-returning by_name overload")]]
 [[nodiscard]] bool by_name(const std::string& name, int seq_len,
                            BertConfig& out);
 
@@ -82,6 +102,12 @@ struct ModelWorkload {
 };
 
 /// Expands a config into its encoder-stack GEMMs and non-linear totals.
+///
+/// This is a thin flattened view over the attention-pipeline operator
+/// graph: model_workload(cfg) == pipeline::flatten(pipeline::build_graph(
+/// cfg)), so the flat shape lists, the closed-form cycle model, and the
+/// PipelineExecutor timelines all derive from one IR and stay consistent
+/// by construction.
 [[nodiscard]] ModelWorkload model_workload(const BertConfig& config);
 
 }  // namespace nova::workload

@@ -42,6 +42,18 @@ TEST(Systolic, CyclesMonotoneInEveryDimension) {
   EXPECT_LE(gemm_cycles(cfg, 64, 64, 64), gemm_cycles(cfg, 64, 64, 128));
 }
 
+TEST(Accelerator, HostCatalogRoundTripsThroughResolver) {
+  ASSERT_EQ(host_catalog().size(), 4u);
+  for (const auto& entry : host_catalog()) {
+    const auto kind = host_by_name(entry.name);
+    ASSERT_TRUE(kind.has_value()) << entry.name;
+    EXPECT_EQ(*kind, entry.kind);
+    EXPECT_FALSE(make_accelerator(*kind).name.empty());
+  }
+  EXPECT_FALSE(host_by_name("cpu").has_value());
+  EXPECT_FALSE(host_by_name("").has_value());
+}
+
 TEST(Accelerator, PaperConfigsInstantiate) {
   const auto tpu4 = make_accelerator(hw::AcceleratorKind::kTpuV4);
   EXPECT_EQ(tpu4.matrix_units, 8);

@@ -253,5 +253,29 @@ TEST(Softmax, OpCountFormula) {
   EXPECT_EQ(softmax_approx_ops(128), 257u);  // n exp + 1 recip + n mul
 }
 
+TEST(Functions, FromStringRoundTripsEveryFunction) {
+  ASSERT_FALSE(all_functions().empty());
+  for (const auto fn : all_functions()) {
+    const auto parsed = from_string(to_string(fn));
+    ASSERT_TRUE(parsed.has_value()) << to_string(fn);
+    EXPECT_EQ(*parsed, fn);
+  }
+  EXPECT_FALSE(from_string("no-such-fn").has_value());
+  EXPECT_FALSE(from_string("").has_value());
+  EXPECT_FALSE(from_string("GELU").has_value());  // names are lower-case
+}
+
+TEST(Functions, DeprecatedFromStringWrapperStillResolves) {
+  // The out-param signature survives one deprecation cycle as a thin
+  // wrapper; keep its contract covered until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  NonLinearFn out = NonLinearFn::kExp;
+  EXPECT_TRUE(from_string("gelu", out));
+  EXPECT_EQ(out, NonLinearFn::kGelu);
+  EXPECT_FALSE(from_string("no-such-fn", out));
+#pragma GCC diagnostic pop
+}
+
 }  // namespace
 }  // namespace nova::approx

@@ -4,9 +4,11 @@
 
 #include <sstream>
 
+#include "accel/accelerator.hpp"
 #include "core/overlay.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "workload/bert.hpp"
 
 namespace nova::serve {
 namespace {
@@ -236,6 +238,42 @@ TEST(BatchScheduler, FusesBackloggedCompatibleRequests) {
   const auto unbatched = BatchScheduler(config).run(requests);
   EXPECT_EQ(unbatched.stats.counter("serve.batches"), 4u);
   EXPECT_GT(unbatched.outcomes[3].finish_us, fused);
+}
+
+TEST(BatchScheduler, PricesRequestsFromTheFullGraphTimeline) {
+  // Graph-based pricing covers the whole layer timeline, so a request can
+  // never be cheaper than its GEMM time on the host fabric -- the
+  // non-linear-only pricing of the pre-graph engine cannot satisfy this.
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;  // bert-tiny @ 128, gelu, 16 breakpoints
+  const auto config = small_pool(1, 1);
+  const auto report = BatchScheduler(config).run(requests);
+
+  const auto accel = accel::make_accelerator(config.host);
+  const auto model =
+      workload::by_name(requests[0].workload, requests[0].seq_len);
+  ASSERT_TRUE(model.has_value());
+  const auto fabric_cycles =
+      accel::inference_cycles(accel, workload::model_workload(*model));
+  EXPECT_GE(report.outcomes[0].service_cycles, fabric_cycles);
+  // Overlap keeps the span below the serial sum of fabric time plus the
+  // whole non-linear stream at one element per cycle (a loose roof).
+  EXPECT_LT(report.outcomes[0].service_cycles,
+            fabric_cycles +
+                static_cast<sim::Cycle>(report.outcomes[0].approx_ops));
+}
+
+TEST(BatchScheduler, HeavierWorkloadsPriceHigher) {
+  // Same arrival, same table: RoBERTa's layer timeline dwarfs BERT-tiny's.
+  std::vector<InferenceRequest> tiny(1), roberta(1);
+  tiny[0].id = 0;
+  roberta[0].id = 0;
+  roberta[0].workload = "roberta";
+  const BatchScheduler scheduler(small_pool(1, 1));
+  const auto a = scheduler.run(tiny);
+  const auto b = scheduler.run(roberta);
+  EXPECT_GT(b.outcomes[0].service_cycles,
+            10 * a.outcomes[0].service_cycles);
 }
 
 TEST(BatchScheduler, MoreInstancesReduceTailLatency) {

@@ -97,5 +97,34 @@ TEST(Workload, RobertaDominatesBertTinyInMacs) {
             20 * model_workload(bert_tiny(1024)).total_macs());
 }
 
+TEST(Bert, ByNameResolvesEveryCatalogEntryAndAlias) {
+  for (const auto& entry : benchmark_catalog()) {
+    const auto config = by_name(entry.name, 64);
+    ASSERT_TRUE(config.has_value()) << entry.name;
+    EXPECT_EQ(config->seq_len, 64);
+    EXPECT_EQ(config->name, entry.make(64).name);
+    if (entry.alias != nullptr) {
+      const auto aliased = by_name(entry.alias, 64);
+      ASSERT_TRUE(aliased.has_value()) << entry.alias;
+      EXPECT_EQ(aliased->name, config->name);
+    }
+  }
+  EXPECT_FALSE(by_name("no-such-model", 64).has_value());
+  EXPECT_FALSE(by_name("", 64).has_value());
+}
+
+TEST(Bert, DeprecatedByNameWrapperStillResolves) {
+  // The out-param signature survives one deprecation cycle as a thin
+  // wrapper; keep its contract covered until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  BertConfig out;
+  EXPECT_TRUE(by_name("bert-tiny", 32, out));
+  EXPECT_EQ(out.name, "BERT-tiny");
+  EXPECT_EQ(out.seq_len, 32);
+  EXPECT_FALSE(by_name("no-such-model", 32, out));
+#pragma GCC diagnostic pop
+}
+
 }  // namespace
 }  // namespace nova::workload
