@@ -36,9 +36,11 @@ int main() {
       const auto wl = workload::model_workload(cfg);
       // The runtimes/energies consume PipelineExecutor timelines. "serial
       // ms" is the no-overlap baseline (every fabric/vector dependency a
-      // barrier); "runtime ms" is the overlap-aware figure the energy
-      // integrates over -- the gap between the two columns is the
-      // double-buffered overlap win.
+      // barrier); "runtime ms" is the overlap-aware span, shown for the
+      // double-buffered overlap win against the serial column. The energy
+      // columns are the byte-identical legacy flat roll-up (eval.flat,
+      // leakage integrated over max(compute, approx) cycles), NOT over
+      // the overlapped span -- Fig 8 comparability comes first.
       const auto nova_eval = pipeline::evaluate_pipeline(
           accel, pipeline::build_graph(cfg),
           ApproximatorChoice{hw::UnitKind::kNovaNoc, 16});

@@ -103,6 +103,11 @@ ServeResultRow run_serve_case(int requests, int sim_elements_cap) {
   config.sim_elements_cap = sim_elements_cap;
 
   nova::serve::TrafficProfile profile;
+  // Keep the tracked BENCH_hotpath.json series continuous across the
+  // decode-phase PR: an all-prefill stream reproduces the exact request
+  // mix the earlier snapshots measured (and keeps the distinct-shape key
+  // below, which ignores phase/kv_len, an accurate tuple count).
+  profile.decode_fraction = 0.0;
   const auto stream =
       nova::serve::generate_poisson(requests, profile, config.seed);
   std::size_t distinct = 0;

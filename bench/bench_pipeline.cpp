@@ -32,9 +32,10 @@ int main(int argc, char** argv) {
               "overlapped spans per host\n\n",
               smoke ? " (smoke mode)" : "");
 
-  const std::vector<hw::AcceleratorKind> hosts = {
-      hw::AcceleratorKind::kReact, hw::AcceleratorKind::kTpuV3,
-      hw::AcceleratorKind::kTpuV4, hw::AcceleratorKind::kJetsonNvdla};
+  // Hosts come from the resolver catalog so a newly added host can never
+  // silently skip the reconciliation sweep.
+  std::vector<hw::AcceleratorKind> hosts;
+  for (const auto& entry : accel::host_catalog()) hosts.push_back(entry.kind);
 
   bool all_reconciled = true;
   std::string json =

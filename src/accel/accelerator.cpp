@@ -134,6 +134,64 @@ InferenceEnergy evaluate_inference(const AcceleratorModel& accel,
                                       timeline.vector_cycles, choice);
 }
 
+std::uint64_t closed_form_decode_ops(const workload::BertConfig& config,
+                                     std::int64_t kv_len) {
+  NOVA_EXPECTS(kv_len >= 1);
+  const std::int64_t per_layer =
+      static_cast<std::int64_t>(config.heads) * (2 * kv_len + 1) +
+      static_cast<std::int64_t>(config.ffn_stacks) * config.ffn + 2;
+  return static_cast<std::uint64_t>(per_layer * config.layers);
+}
+
+ClosedFormCycles closed_form_decode_cycles(const AcceleratorModel& accel,
+                                           const workload::BertConfig& config,
+                                           std::int64_t kv_len,
+                                           const ApproximatorChoice& choice) {
+  NOVA_EXPECTS(accel.matrix_units >= 1);
+  NOVA_EXPECTS(kv_len >= 1);
+  NOVA_EXPECTS(config.heads >= 1 && config.hidden % config.heads == 0);
+
+  // The decode-step GEMM shapes, spelled out here rather than derived from
+  // the operator graph: one query token projects through QKV / proj / FFN
+  // at m=1 while the score and context GEMMs stretch with the cache.
+  struct Shape {
+    std::int64_t m, k, n, count;
+  };
+  const std::int64_t h = config.hidden;
+  const std::int64_t head_dim = h / config.heads;
+  std::vector<Shape> shapes;
+  if (config.bottleneck > 0) {
+    shapes.push_back({1, config.bottleneck, h, 1});
+  }
+  shapes.push_back({1, h, h, 3});                          // qkv
+  shapes.push_back({1, head_dim, kv_len, config.heads});   // QK^T
+  shapes.push_back({1, kv_len, head_dim, config.heads});   // AV
+  shapes.push_back({1, h, h, 1});                          // proj
+  shapes.push_back({1, h, config.ffn, config.ffn_stacks});  // ffn-up
+  shapes.push_back({1, config.ffn, h, config.ffn_stacks});  // ffn-down
+  if (config.bottleneck > 0) {
+    shapes.push_back({1, h, config.bottleneck, 1});
+  }
+
+  ClosedFormCycles result;
+  for (const auto& shape : shapes) {
+    const std::int64_t folds =
+        gemm_folds(accel.systolic, shape.m, shape.k, shape.n) * shape.count *
+        config.layers;
+    const std::int64_t per_unit =
+        (folds + accel.matrix_units - 1) / accel.matrix_units;
+    result.compute_cycles += static_cast<std::uint64_t>(
+        per_unit * fold_cycles(accel.systolic, shape.m, shape.k, shape.n));
+  }
+
+  const std::uint64_t ops = closed_form_decode_ops(config, kv_len);
+  const auto throughput = static_cast<std::uint64_t>(
+      hw::paper_unit_config(accel.kind, choice.kind).total_neurons());
+  result.approx_cycles =
+      ops == 0 ? 0 : (ops + throughput - 1) / throughput + 1;
+  return result;
+}
+
 ClosedFormCycles closed_form_cycles(const AcceleratorModel& accel,
                                     const workload::ModelWorkload& workload,
                                     const ApproximatorChoice& choice) {

@@ -107,4 +107,22 @@ struct ClosedFormCycles {
     const AcceleratorModel& accel, const workload::ModelWorkload& workload,
     const ApproximatorChoice& choice);
 
+/// Non-linear element operations one autoregressive decode step costs: per
+/// layer, `heads` softmax rows of kv_len logits (2*kv_len + 1 element ops
+/// each), ffn_stacks * ffn GELU activations for the single query token,
+/// and two layernorm rsqrt rows.
+[[nodiscard]] std::uint64_t closed_form_decode_ops(
+    const workload::BertConfig& config, std::int64_t kv_len);
+
+/// Closed-form cycle reference for one decode step (single query token vs
+/// a kv_len-entry KV cache), spelled out directly from the BertConfig with
+/// the per-shape fold arithmetic -- it never touches pipeline:: code, so
+/// it is an independent oracle for BOTH pipeline::build_decode_graph's
+/// shape expansion and the executor's walk of it (a bug in either cannot
+/// cancel out of the reconciliation checks in nova_sim --decode,
+/// bench_decode, and pipeline_test).
+[[nodiscard]] ClosedFormCycles closed_form_decode_cycles(
+    const AcceleratorModel& accel, const workload::BertConfig& config,
+    std::int64_t kv_len, const ApproximatorChoice& choice);
+
 }  // namespace nova::accel

@@ -36,13 +36,6 @@ std::optional<NonLinearFn> from_string(const std::string& name) {
   return std::nullopt;
 }
 
-bool from_string(const std::string& name, NonLinearFn& out) {
-  const auto fn = from_string(name);
-  if (!fn) return false;
-  out = *fn;
-  return true;
-}
-
 double eval_exact(NonLinearFn fn, double x) {
   switch (fn) {
     case NonLinearFn::kExp: return std::exp(x);

@@ -36,11 +36,6 @@ enum class NonLinearFn {
 /// Returns nullopt when `name` names no known function.
 [[nodiscard]] std::optional<NonLinearFn> from_string(const std::string& name);
 
-/// Deprecated out-param form of from_string; returns false when `name`
-/// names no known function.
-[[deprecated("use the std::optional-returning from_string overload")]]
-[[nodiscard]] bool from_string(const std::string& name, NonLinearFn& out);
-
 /// Exact (double-precision) evaluation of the function.
 [[nodiscard]] double eval_exact(NonLinearFn fn, double x);
 

@@ -264,6 +264,80 @@ void report_workloads(const Options& options,
   return reconciled;
 }
 
+/// --decode: prefill-vs-decode attribution for one workload -- one full
+/// seq_len prefill against one autoregressive step at --kv-len, with both
+/// phases' graph timelines side by side and each serial timeline
+/// reconciled against its own executor-free closed-form reference
+/// (closed_form_cycles for prefill, closed_form_decode_cycles for decode).
+/// Returns false on any reconciliation mismatch (non-zero exit, matching
+/// --pipeline / bench_decode).
+[[nodiscard]] bool report_decode(const Options& options,
+                                 const workload::BertConfig& config,
+                                 const accel::AcceleratorModel& accel) {
+  const accel::ApproximatorChoice choice{hw::UnitKind::kNovaNoc,
+                                         options.breakpoints};
+  const auto prefill_graph = pipeline::build_graph(config);
+  const auto decode_graph =
+      pipeline::build_decode_graph(config, options.kv_len);
+  const auto prefill = pipeline::evaluate_pipeline(accel, prefill_graph,
+                                                   choice);
+  const auto decode = pipeline::evaluate_pipeline(accel, decode_graph,
+                                                  choice);
+
+  Table table("Prefill vs decode: " + config.name + " on " + accel.name +
+              " (seq_len " + std::to_string(config.seq_len) + ", kv_len " +
+              std::to_string(options.kv_len) + ")");
+  table.set_header({"phase", "GEMM MACs", "approx ops", "fabric cyc",
+                    "vector cyc", "serial cyc", "overlap cyc", "win",
+                    "runtime ms"});
+  const auto add_phase = [&table](const char* phase,
+                                  const pipeline::OpGraph& graph,
+                                  const pipeline::PipelineEvaluation& eval) {
+    table.add_row({phase, std::to_string(graph.total_macs()),
+                   std::to_string(graph.total_approx_ops()),
+                   std::to_string(eval.serial.fabric_cycles),
+                   std::to_string(eval.serial.vector_cycles),
+                   std::to_string(eval.serial.span_cycles),
+                   std::to_string(eval.overlapped.span_cycles),
+                   Table::num(eval.overlap_win, 3),
+                   Table::num(eval.overlapped_runtime_ms, 4)});
+  };
+  add_phase("prefill", prefill_graph, prefill);
+  add_phase("decode", decode_graph, decode);
+  emit(table, options.csv);
+
+  // Each phase reconciles against its OWN executor-free reference; the
+  // decode reference additionally never touches the graph builder, so a
+  // shape-expansion bug cannot cancel out of both sides.
+  const auto closed_prefill = accel::closed_form_cycles(
+      accel, workload::model_workload(config), choice);
+  const auto closed_decode = accel::closed_form_decode_cycles(
+      accel, config, options.kv_len, choice);
+  const bool prefill_ok =
+      prefill.serial.span_cycles == closed_prefill.total();
+  const bool decode_ok =
+      decode.serial.span_cycles == closed_decode.total() &&
+      decode.serial.fabric_cycles == closed_decode.compute_cycles &&
+      decode.serial.vector_cycles == closed_decode.approx_cycles;
+
+  Table summary("Decode summary: " + config.name + " on " + accel.name);
+  summary.set_header({"metric", "value"});
+  summary.add_row({"decode ops / token",
+                   std::to_string(decode_graph.total_approx_ops())});
+  summary.add_row(
+      {"decode / prefill serial cycles",
+       Table::num(static_cast<double>(decode.serial.span_cycles) /
+                      static_cast<double>(
+                          std::max<sim::Cycle>(1, prefill.serial.span_cycles)),
+                  6)});
+  summary.add_row({"prefill reconciles with closed form",
+                   prefill_ok ? "exact" : "MISMATCH"});
+  summary.add_row({"decode reconciles with closed form",
+                   decode_ok ? "exact" : "MISMATCH"});
+  emit(summary, options.csv);
+  return prefill_ok && decode_ok;
+}
+
 /// --serve: the batched inference-serving engine over a pool of simulated
 /// NOVA instances. Emits a summary table (throughput + latency percentiles)
 /// and a per-instance utilization table; output is deterministic for a
@@ -282,6 +356,10 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
     profile.rate_rps = options.rate_rps;
     profile.breakpoints = options.breakpoints;
     profile.base_seq_len = options.seq_len;
+    profile.base_kv_len = options.kv_len;
+    // --decode narrows the stream to pure decode traffic; the default mix
+    // interleaves prefill and decode request classes.
+    if (options.decode) profile.decode_fraction = 1.0;
     // An explicit --workload / --function narrows the generated mix;
     // "bert"/"all" asks for the full five-benchmark stream.
     if (options.workload_set) {
@@ -365,6 +443,33 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
                           Table::num(util, 2)});
   }
   emit(per_instance, options.csv);
+
+  // Prefill-vs-decode attribution: where the pool's time and ops actually
+  // went, per request class (rows only for classes present in the stream).
+  Table per_phase("Prefill/decode attribution");
+  per_phase.set_header({"phase", "requests", "approx ops", "mean service us",
+                        "mean latency us", "max latency us"});
+  for (const auto phase :
+       {pipeline::Phase::kPrefill, pipeline::Phase::kDecode}) {
+    int count = 0;
+    std::uint64_t ops = 0;
+    double service = 0.0, latency = 0.0, max_latency = 0.0;
+    for (const auto& outcome : report.outcomes) {
+      if (outcome.request.phase != phase) continue;
+      ++count;
+      ops += static_cast<std::uint64_t>(outcome.approx_ops);
+      service += outcome.service_us;
+      latency += outcome.latency_us();
+      max_latency = std::max(max_latency, outcome.latency_us());
+    }
+    if (count == 0) continue;
+    per_phase.add_row({pipeline::to_string(phase), std::to_string(count),
+                       std::to_string(ops),
+                       Table::num(service / count, 3),
+                       Table::num(latency / count, 3),
+                       Table::num(max_latency, 3)});
+  }
+  emit(per_phase, options.csv);
   return 0;
 }
 
@@ -419,6 +524,18 @@ int run(const Options& options) {
       std::fprintf(stderr,
                    "nova_sim: pipeline timeline diverged from the "
                    "closed-form model (see MISMATCH rows)\n");
+      return 1;
+    }
+  }
+  if (options.decode) {
+    bool all_reconciled = true;
+    for (const auto& config : *workloads) {
+      all_reconciled &= report_decode(options, config, accel_model);
+    }
+    if (!all_reconciled) {
+      std::fprintf(stderr,
+                   "nova_sim: decode timeline diverged from the "
+                   "closed-form decode model (see MISMATCH rows)\n");
       return 1;
     }
   }

@@ -127,6 +127,12 @@ std::string usage() {
       "                     timeline per workload: per-node Gantt with\n"
       "                     fabric/vector overlap and cycle/energy\n"
       "                     attribution\n"
+      "  --decode           print the prefill-vs-decode attribution table\n"
+      "                     per workload (one query token vs a --kv-len KV\n"
+      "                     cache); with --serve, generate pure decode\n"
+      "                     traffic instead of the mixed default\n"
+      "  --kv-len N         KV-cache length for --decode and the decode\n"
+      "                     side of serve traffic    (default: 512)\n"
       "  --waves N          PE waves in the cycle sim  (default: 4)\n"
       "  --seed N           RNG seed for synthetic inputs and serve traffic\n"
       "                     (default: 42)\n"
@@ -150,6 +156,7 @@ std::string usage() {
       "\n"
       "Examples:\n"
       "  nova_sim --workload bert --seq 128\n"
+      "  nova_sim --workload bert-tiny --decode --kv-len 1024\n"
       "  nova_sim --workload mobilebert-base --seq 1024 --host tpuv3\n"
       "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n"
       "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n";
@@ -182,6 +189,12 @@ bool parse_options(int argc, const char* const* argv, Options& options,
       options.run_cycle_sim = false;
     } else if (flag == "--pipeline") {
       options.pipeline = true;
+    } else if (flag == "--decode") {
+      options.decode = true;
+    } else if (flag == "--kv-len") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 1 << 20, options.kv_len, error))
+        return false;
     } else if (flag == "--serve") {
       options.serve = true;
     } else if (flag == "--workload") {

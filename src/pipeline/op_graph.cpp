@@ -14,6 +14,20 @@ const char* to_string(OpKind kind) {
   return "?";
 }
 
+const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kPrefill: return "prefill";
+    case Phase::kDecode: return "decode";
+  }
+  return "?";
+}
+
+std::optional<Phase> phase_from_string(const std::string& name) {
+  if (name == "prefill") return Phase::kPrefill;
+  if (name == "decode") return Phase::kDecode;
+  return std::nullopt;
+}
+
 namespace {
 
 OpNode gemm_node(std::string label, std::int64_t m, std::int64_t k,
@@ -29,17 +43,26 @@ OpNode gemm_node(std::string label, std::int64_t m, std::int64_t k,
   return node;
 }
 
-}  // namespace
-
-OpGraph build_graph(const workload::BertConfig& config) {
+/// Shared encoder-layer chain builder. Prefill is the full sequence
+/// attending over itself (query_len == attend_len == seq_len); decode is
+/// one query token attending over the KV cache (query_len == 1,
+/// attend_len == kv_len). Everything that feels "per token" scales with
+/// query_len; everything that feels "per attended position" scales with
+/// attend_len -- keeping both phases in one builder means they can never
+/// drift structurally.
+OpGraph build_chain(const workload::BertConfig& config,
+                    std::int64_t query_len, std::int64_t attend_len) {
   NOVA_EXPECTS(config.layers >= 1);
   NOVA_EXPECTS(config.heads >= 1);
   NOVA_EXPECTS(config.hidden % config.heads == 0);
+  NOVA_EXPECTS(query_len >= 1);
+  NOVA_EXPECTS(attend_len >= 1);
   OpGraph graph;
   graph.config = config;
   graph.layer_repeat = config.layers;
 
-  const std::int64_t s = config.seq_len;
+  const std::int64_t q = query_len;
+  const std::int64_t a = attend_len;
   const std::int64_t h = config.hidden;
   const std::int64_t heads = config.heads;
   const std::int64_t head_dim = h / heads;
@@ -56,60 +79,77 @@ OpGraph build_graph(const workload::BertConfig& config) {
   // into the wider body; standard blocks start at `hidden` directly.
   if (config.bottleneck > 0) {
     nodes.push_back(
-        gemm_node("bottleneck-in", s, config.bottleneck, h, 1, {}));
+        gemm_node("bottleneck-in", q, config.bottleneck, h, 1, {}));
   }
 
   // Attention body: QKV projections, per-head score and context GEMMs with
   // the softmax between them, the output projection, then the residual
   // layernorm (one rsqrt per row on the vector unit).
-  nodes.push_back(gemm_node("attn-qkv", s, h, h, 3, last()));
+  nodes.push_back(gemm_node("attn-qkv", q, h, h, 3, last()));
   nodes.push_back(
-      gemm_node("attn-scores QK^T", s, head_dim, s, heads, last()));
+      gemm_node("attn-scores QK^T", q, head_dim, a, heads, last()));
 
   OpNode softmax;
   softmax.kind = OpKind::kSoftmax;
   softmax.label = "attn-softmax";
-  softmax.rows = heads * s;  // one row per (head, query position)
-  softmax.row_len = s;
+  softmax.rows = heads * q;  // one row per (head, query position)
+  softmax.row_len = a;
   softmax.deps = last();
   nodes.push_back(std::move(softmax));
 
   nodes.push_back(
-      gemm_node("attn-context AV", s, s, head_dim, heads, last()));
-  nodes.push_back(gemm_node("attn-proj", s, h, h, 1, last()));
+      gemm_node("attn-context AV", q, a, head_dim, heads, last()));
+  nodes.push_back(gemm_node("attn-proj", q, h, h, 1, last()));
 
   OpNode ln_attn;
   ln_attn.kind = OpKind::kLayerNormScale;
   ln_attn.label = "layernorm-attn";
-  ln_attn.rows = s;
+  ln_attn.rows = q;
   ln_attn.deps = last();
   nodes.push_back(std::move(ln_attn));
 
   // Feed-forward stacks with GELU between the two GEMMs, then the second
   // residual layernorm.
-  nodes.push_back(gemm_node("ffn-up", s, h, ffn, stacks, last()));
+  nodes.push_back(gemm_node("ffn-up", q, h, ffn, stacks, last()));
 
   OpNode gelu;
   gelu.kind = OpKind::kGelu;
   gelu.label = "ffn-gelu";
-  gelu.elements = stacks * s * ffn;
+  gelu.elements = stacks * q * ffn;
   gelu.deps = last();
   nodes.push_back(std::move(gelu));
 
-  nodes.push_back(gemm_node("ffn-down", s, ffn, h, stacks, last()));
+  nodes.push_back(gemm_node("ffn-down", q, ffn, h, stacks, last()));
 
   OpNode ln_ffn;
   ln_ffn.kind = OpKind::kLayerNormScale;
   ln_ffn.label = "layernorm-ffn";
-  ln_ffn.rows = s;
+  ln_ffn.rows = q;
   ln_ffn.deps = last();
   nodes.push_back(std::move(ln_ffn));
 
   if (config.bottleneck > 0) {
     nodes.push_back(
-        gemm_node("bottleneck-out", s, h, config.bottleneck, 1, last()));
+        gemm_node("bottleneck-out", q, h, config.bottleneck, 1, last()));
   }
+  return graph;
+}
 
+}  // namespace
+
+OpGraph build_graph(const workload::BertConfig& config) {
+  OpGraph graph = build_chain(config, config.seq_len, config.seq_len);
+  std::string reason;
+  NOVA_ASSERT(validate(graph, reason));
+  return graph;
+}
+
+OpGraph build_decode_graph(const workload::BertConfig& config,
+                           std::int64_t kv_len) {
+  NOVA_EXPECTS(kv_len >= 1);
+  OpGraph graph = build_chain(config, 1, kv_len);
+  graph.phase = Phase::kDecode;
+  graph.kv_len = kv_len;
   std::string reason;
   NOVA_ASSERT(validate(graph, reason));
   return graph;
@@ -194,16 +234,51 @@ bool validate(const OpGraph& graph, std::string& reason) {
     reason = "layer_repeat must be >= 1";
     return false;
   }
+  // Phase/kv_len coherence: a decode graph without its cache length (or a
+  // prefill graph claiming one) would silently mis-price every consumer
+  // that branches on the tag.
+  if (graph.phase == Phase::kDecode && graph.kv_len < 1) {
+    reason = "decode graph must carry kv_len >= 1";
+    return false;
+  }
+  if (graph.phase == Phase::kPrefill && graph.kv_len != 0) {
+    reason = "prefill graph must keep kv_len == 0";
+    return false;
+  }
   for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
     const auto& node = graph.nodes[i];
-    if (node.is_gemm() &&
-        (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1)) {
-      reason = "gemm node '" + node.label + "' has a non-positive dimension";
-      return false;
-    }
-    if (node.rows < 0 || node.row_len < 0 || node.elements < 0) {
-      reason = "node '" + node.label + "' has a negative volume";
-      return false;
+    // Per-kind volumes must be strictly positive: the decode expansion is
+    // the first builder whose volumes are not one fixed shape per
+    // benchmark, and a zero-volume node (single-row softmax collapsing to
+    // rows=0, empty GELU) is a construction bug that used to slip through
+    // as a silent no-op entry.
+    switch (node.kind) {
+      case OpKind::kGemm:
+        if (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1) {
+          reason =
+              "gemm node '" + node.label + "' has a non-positive dimension";
+          return false;
+        }
+        break;
+      case OpKind::kSoftmax:
+        if (node.rows < 1 || node.row_len < 1) {
+          reason = "softmax node '" + node.label +
+                   "' must have rows >= 1 and row_len >= 1";
+          return false;
+        }
+        break;
+      case OpKind::kGelu:
+        if (node.elements < 1) {
+          reason = "gelu node '" + node.label + "' must have elements >= 1";
+          return false;
+        }
+        break;
+      case OpKind::kLayerNormScale:
+        if (node.rows < 1) {
+          reason = "layernorm node '" + node.label + "' must have rows >= 1";
+          return false;
+        }
+        break;
     }
     for (const int dep : node.deps) {
       if (dep < 0 || dep >= static_cast<int>(i)) {

@@ -13,12 +13,27 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "workload/bert.hpp"
 
 namespace nova::pipeline {
+
+/// Which inference phase a graph models. Prefill runs the full sequence
+/// through every operator (the PR 4 graph); decode is one autoregressive
+/// step -- a single query token attending over a kv_len-entry KV cache, so
+/// the QKV/proj/FFN GEMMs shrink to m=1 while the score/context GEMMs and
+/// the softmax rows grow with the cache length instead of seq_len.
+enum class Phase { kPrefill, kDecode };
+
+[[nodiscard]] const char* to_string(Phase phase);
+
+/// Inverse of to_string(Phase): resolves "prefill" / "decode". Returns
+/// nullopt for anything else (trace parsing and CLI flags funnel through
+/// this, so the accepted spellings can never drift).
+[[nodiscard]] std::optional<Phase> phase_from_string(const std::string& name);
 
 /// Operator kinds an encoder layer is built from. kGemm executes on the
 /// host compute fabric; the other three stream through the NOVA vector
@@ -78,6 +93,10 @@ struct OpGraph {
   workload::BertConfig config;
   std::vector<OpNode> nodes;  ///< topologically ordered
   int layer_repeat = 1;
+  /// Phase tag: decode graphs carry the KV-cache length their volumes were
+  /// expanded at (kv_len >= 1); prefill graphs keep kv_len == 0.
+  Phase phase = Phase::kPrefill;
+  std::int64_t kv_len = 0;
 
   [[nodiscard]] std::int64_t total_macs() const {
     std::int64_t total = 0;
@@ -97,6 +116,20 @@ struct OpGraph {
 /// chain, with per-layer volumes and `layer_repeat = config.layers`.
 [[nodiscard]] OpGraph build_graph(const workload::BertConfig& config);
 
+/// Expands one autoregressive decode step of a BERT-family config: a
+/// single query token against a kv_len-entry KV cache. Same operator chain
+/// as build_graph, but the QKV projection, output projection and FFN GEMMs
+/// run at m=1, the score GEMM is (1 x head_dim) * (head_dim x kv_len), the
+/// context GEMM is (1 x kv_len) * (kv_len x head_dim), the softmax is one
+/// row of kv_len logits per head, the GELU covers ffn_stacks * ffn
+/// activations, and each layernorm contributes a single rsqrt row. The
+/// returned graph is tagged Phase::kDecode with `kv_len` recorded, and
+/// config.seq_len plays no part in any volume. Reconciled against
+/// accel::closed_form_decode_cycles exactly as build_graph is against
+/// accel::closed_form_cycles.
+[[nodiscard]] OpGraph build_decode_graph(const workload::BertConfig& config,
+                                         std::int64_t kv_len);
+
 /// Adapts an arbitrary flat workload (possibly hand-built, not expanded
 /// from a BertConfig) into a chain graph: one GEMM node per GemmShape in
 /// list order, then the softmax / GELU / layernorm nodes of its
@@ -112,7 +145,11 @@ struct OpGraph {
 [[nodiscard]] workload::ModelWorkload flatten(const OpGraph& graph);
 
 /// Structural sanity: deps in range and strictly back-pointing (topological
-/// order), volumes non-negative. Returns false with a reason on violation.
+/// order), per-kind volumes strictly positive (a softmax needs rows >= 1
+/// and row_len >= 1, a GELU elements >= 1, a layernorm rows >= 1 -- a
+/// zero-volume node is a construction bug, not a no-op), and the phase tag
+/// coherent (decode graphs carry kv_len >= 1, prefill graphs kv_len == 0).
+/// Returns false with a reason on violation.
 [[nodiscard]] bool validate(const OpGraph& graph, std::string& reason);
 
 }  // namespace nova::pipeline

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -12,6 +13,16 @@
 
 namespace nova::serve {
 
+namespace {
+
+// Mixed sequence / KV-cache lengths around the baseline; the duplicated 1x
+// weight keeps the nominal length dominant. The sampling bound is derived
+// from the table itself (std::size) so editing the weights can never
+// silently skew the distribution.
+constexpr double kSeqScales[] = {0.25, 0.5, 1.0, 1.0, 2.0};
+
+}  // namespace
+
 std::vector<InferenceRequest> generate_poisson(int count,
                                                const TrafficProfile& profile,
                                                std::uint64_t seed) {
@@ -19,12 +30,11 @@ std::vector<InferenceRequest> generate_poisson(int count,
   NOVA_EXPECTS(profile.rate_rps > 0.0);
   NOVA_EXPECTS(profile.breakpoints >= 2);
   NOVA_EXPECTS(profile.base_seq_len >= 1);
+  NOVA_EXPECTS(profile.decode_fraction >= 0.0 &&
+               profile.decode_fraction <= 1.0);
+  NOVA_EXPECTS(profile.base_kv_len >= 1);
   NOVA_EXPECTS(!profile.workloads.empty());
   NOVA_EXPECTS(!profile.functions.empty());
-
-  // Mixed sequence lengths around the baseline; the duplicated 1x weight
-  // keeps the nominal length dominant.
-  const double kSeqScales[] = {0.25, 0.5, 1.0, 1.0, 2.0};
 
   Rng rng(seed);
   std::vector<InferenceRequest> requests;
@@ -44,10 +54,21 @@ std::vector<InferenceRequest> generate_poisson(int count,
     req.function = profile.functions[static_cast<std::size_t>(
         rng.next_below(profile.functions.size()))];
     req.breakpoints = profile.breakpoints;
-    const double scale =
-        kSeqScales[static_cast<std::size_t>(rng.next_below(5))];
+    const double scale = kSeqScales[static_cast<std::size_t>(
+        rng.next_below(std::size(kSeqScales)))];
     req.seq_len = std::max(
         8, static_cast<int>(std::lround(profile.base_seq_len * scale)));
+    // Phase draw AFTER the shape draws; decode_fraction == 0 skips it
+    // entirely, reproducing the pre-decode all-prefill stream bit-for-bit.
+    if (profile.decode_fraction > 0.0 &&
+        rng.next_double() < profile.decode_fraction) {
+      req.phase = pipeline::Phase::kDecode;
+      const double kv_scale = kSeqScales[static_cast<std::size_t>(
+          rng.next_below(std::size(kSeqScales)))];
+      req.kv_len = std::max(
+          1, static_cast<int>(std::lround(profile.base_kv_len * kv_scale)));
+      req.seq_len = 1;  // one query token; volume scales with kv_len
+    }
     requests.push_back(req);
   }
   return requests;
@@ -63,55 +84,81 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
 
-    std::istringstream fields(line);
-    std::string arrival_text, workload_text, fn_text, seq_text, bp_text;
-    if (!std::getline(fields, arrival_text, ',') ||
-        !std::getline(fields, workload_text, ',') ||
-        !std::getline(fields, fn_text, ',') ||
-        !std::getline(fields, seq_text, ',') ||
-        !std::getline(fields, bp_text)) {
-      error = "trace line " + std::to_string(line_no) +
-              ": expected 'arrival_us,workload,function,seq_len,breakpoints'";
-      return false;
-    }
+    // Split on ',' into stripped fields: 5 mandatory columns plus the
+    // optional phase and kv_len columns of mixed prefill/decode traces.
     const auto strip = [](std::string& s) {
       const auto b = s.find_first_not_of(" \t\r");
       const auto e = s.find_last_not_of(" \t\r");
       s = b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
     };
-    strip(arrival_text);
-    strip(workload_text);
-    strip(fn_text);
-    strip(seq_text);
-    strip(bp_text);
+    std::vector<std::string> fields;
+    std::istringstream splitter(line);
+    std::string field;
+    while (std::getline(splitter, field, ',')) {
+      strip(field);
+      fields.push_back(field);
+    }
+    if (fields.size() < 5 || fields.size() > 7) {
+      error = "trace line " + std::to_string(line_no) +
+              ": expected 'arrival_us,workload,function,seq_len,"
+              "breakpoints[,phase[,kv_len]]'";
+      return false;
+    }
 
     InferenceRequest req;
-    if (!parse_full(arrival_text, req.arrival_us) ||
-        !parse_full(seq_text, req.seq_len) ||
-        !parse_full(bp_text, req.breakpoints)) {
+    if (!parse_full(fields[0], req.arrival_us) ||
+        !parse_full(fields[3], req.seq_len) ||
+        !parse_full(fields[4], req.breakpoints)) {
       error = "trace line " + std::to_string(line_no) +
               ": malformed number in '" + line + "'";
       return false;
     }
-    req.workload = workload_text;
-    if (!workload::by_name(workload_text, 8).has_value()) {
+    req.workload = fields[1];
+    if (!workload::by_name(fields[1], 8).has_value()) {
       error = "trace line " + std::to_string(line_no) +
-              ": unknown workload '" + workload_text + "'";
+              ": unknown workload '" + fields[1] + "'";
       return false;
     }
-    const auto fn = approx::from_string(fn_text);
+    const auto fn = approx::from_string(fields[2]);
     if (!fn) {
       error = "trace line " + std::to_string(line_no) +
-              ": unknown function '" + fn_text + "'";
+              ": unknown function '" + fields[2] + "'";
       return false;
     }
     req.function = *fn;
-    // NaN/inf arrivals would poison the sort and every latency statistic.
+    if (fields.size() >= 6) {
+      const auto phase = pipeline::phase_from_string(fields[5]);
+      if (!phase) {
+        error = "trace line " + std::to_string(line_no) +
+                ": unknown phase '" + fields[5] +
+                "' (expected prefill or decode)";
+        return false;
+      }
+      req.phase = *phase;
+    }
+    if (fields.size() == 7 && !parse_full(fields[6], req.kv_len)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": malformed number in '" + line + "'";
+      return false;
+    }
+    // NaN/inf arrivals would poison the sort and every latency statistic;
+    // a decode request without its cache length (or a prefill request
+    // claiming one) would mis-price silently.
     if (!std::isfinite(req.arrival_us) || req.arrival_us < 0.0 ||
         req.seq_len < 1 || req.breakpoints < 2) {
       error = "trace line " + std::to_string(line_no) +
               ": arrival must be finite and >= 0, seq_len >= 1, "
               "breakpoints >= 2";
+      return false;
+    }
+    if (req.phase == pipeline::Phase::kDecode && req.kv_len < 1) {
+      error = "trace line " + std::to_string(line_no) +
+              ": decode requests need a kv_len column >= 1";
+      return false;
+    }
+    if (req.phase == pipeline::Phase::kPrefill && req.kv_len != 0) {
+      error = "trace line " + std::to_string(line_no) +
+              ": prefill requests must not carry a non-zero kv_len";
       return false;
     }
     out.push_back(req);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "approx/functions.hpp"
+#include "pipeline/op_graph.hpp"
 
 namespace nova::serve {
 
@@ -27,13 +28,22 @@ struct InferenceRequest {
   /// Benchmark whose non-linear op volume this request carries
   /// (workload::by_name names, e.g. "bert-tiny").
   std::string workload = "bert-tiny";
-  /// Sequence length of the inference (scales the op volume).
+  /// Sequence length of the inference (scales the op volume). Decode
+  /// requests carry seq_len == 1 by convention (one query token); their
+  /// volume scales with kv_len instead.
   int seq_len = 128;
   /// Dominant non-linear operator; requests batch only with requests
   /// sharing this function's broadcast table.
   approx::NonLinearFn function = approx::NonLinearFn::kGelu;
   /// PWL segments per lookup (fixes the flit-train length / NoC clock).
   int breakpoints = 16;
+  /// Request class: prefill prices the full-sequence operator graph at
+  /// seq_len; decode prices one autoregressive step against a kv_len-entry
+  /// KV cache. The scheduler never batch-fuses across phases (they share
+  /// no wave shape).
+  pipeline::Phase phase = pipeline::Phase::kPrefill;
+  /// KV-cache length of a decode request (>= 1); prefill keeps 0.
+  int kv_len = 0;
 };
 
 /// Shape of the synthetic open-loop traffic the Poisson generator emits.
@@ -43,9 +53,18 @@ struct TrafficProfile {
   /// PWL resolution shared by all generated requests (keeps the table
   /// training set small; traces may mix resolutions freely).
   int breakpoints = 16;
-  /// Baseline sequence length; requests draw from {1/4, 1/2, 1, 1, 2} x
-  /// this (clamped to >= 8) to model mixed sequence lengths.
+  /// Baseline sequence length; prefill requests draw from the scale table
+  /// {1/4, 1/2, 1, 1, 2} x this (clamped to >= 8) to model mixed sequence
+  /// lengths.
   int base_seq_len = 128;
+  /// Fraction of requests that are autoregressive decode steps (single
+  /// query against a KV cache); the remainder are prefill. 0 reproduces
+  /// the pre-decode all-prefill stream, 1 is pure decode traffic.
+  double decode_fraction = 0.5;
+  /// Baseline KV-cache length for decode requests; actual lengths draw
+  /// from the same scale table as sequence lengths (clamped to >= 1) to
+  /// model caches at different depths of generation.
+  int base_kv_len = 512;
   /// Workload mix, sampled uniformly. Empty profiles are invalid.
   std::vector<std::string> workloads = {"bert-tiny", "bert-mini",
                                         "mobilebert-tiny"};
@@ -62,10 +81,12 @@ struct TrafficProfile {
     int count, const TrafficProfile& profile, std::uint64_t seed);
 
 /// Parses a request trace: one request per line,
-/// `arrival_us,workload,function,seq_len,breakpoints`, with `#` comments
-/// and blank lines ignored. Returns false and fills `error` on malformed
-/// input. Requests are re-sorted by arrival time and re-numbered in that
-/// order.
+/// `arrival_us,workload,function,seq_len,breakpoints[,phase[,kv_len]]`,
+/// with `#` comments and blank lines ignored. `phase` is "prefill"
+/// (default) or "decode"; decode lines must carry kv_len >= 1, prefill
+/// lines may only carry kv_len 0. Returns false and fills `error` on
+/// malformed input. Requests are re-sorted by arrival time and re-numbered
+/// in that order.
 [[nodiscard]] bool parse_trace(std::istream& in,
                                std::vector<InferenceRequest>& out,
                                std::string& error);

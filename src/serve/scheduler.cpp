@@ -23,10 +23,11 @@ namespace {
 /// Input-synthesis seed for one request shape: FNV-1a over the shape
 /// fields mixed with the base seed, so an identical shape prices from
 /// identical inputs in every stream, regardless of what other requests
-/// ride along.
+/// ride along. Phase and kv_len are part of the shape: a decode step and a
+/// prefill at the same seq_len are different work.
 std::uint64_t shape_seed(std::uint64_t base, const std::string& workload,
                          int seq_len, approx::NonLinearFn function,
-                         int breakpoints) {
+                         int breakpoints, pipeline::Phase phase, int kv_len) {
   std::uint64_t h = 0xCBF29CE484222325ULL ^ base;
   const auto mix = [&h](std::uint64_t value) {
     for (int byte = 0; byte < 8; ++byte) {
@@ -41,6 +42,8 @@ std::uint64_t shape_seed(std::uint64_t base, const std::string& workload,
   mix(static_cast<std::uint64_t>(seq_len));
   mix(static_cast<std::uint64_t>(function));
   mix(static_cast<std::uint64_t>(breakpoints));
+  mix(static_cast<std::uint64_t>(phase));
+  mix(static_cast<std::uint64_t>(kv_len));
   return h;
 }
 
@@ -73,17 +76,19 @@ void BatchScheduler::price_requests(
   // NOVA's service time is input-independent (a wave completes when the
   // full tagged flit train has broadcast, regardless of the data values),
   // so pricing is memoized per distinct (workload, seq_len, function,
-  // breakpoints) tuple; the worker pool runs the distinct cycle-accurate
-  // simulations concurrently.
+  // breakpoints, phase, kv_len) tuple; the worker pool runs the distinct
+  // cycle-accurate simulations concurrently.
   struct Priced {
     std::int64_t approx_ops = 0;
     double service_cycles = 0.0;
     int wave_latency_cycles = 0;
   };
-  using Key = std::tuple<std::string, int, approx::NonLinearFn, int>;
+  using Key = std::tuple<std::string, int, approx::NonLinearFn, int,
+                         pipeline::Phase, int>;
   std::map<Key, std::vector<int>> groups;
   for (const auto& req : requests) {
-    groups[Key{req.workload, req.seq_len, req.function, req.breakpoints}]
+    groups[Key{req.workload, req.seq_len, req.function, req.breakpoints,
+               req.phase, req.kv_len}]
         .push_back(req.id);
   }
   std::vector<const std::pair<const Key, std::vector<int>>*> distinct;
@@ -103,18 +108,22 @@ void BatchScheduler::price_requests(
   const auto price_tuple = [this, &library, &distinct,
                             &priced](std::size_t tuple_index) {
     const auto& [key, ids] = *distinct[tuple_index];
-    const auto& [workload_name, seq_len, function, breakpoints] = key;
+    const auto& [workload_name, seq_len, function, breakpoints, phase,
+                 kv_len] = key;
     const auto& table = library.get(function, breakpoints);
     const auto domain = table.domain();
 
-    // The request's work: the full operator graph of one inference of its
-    // workload. The cycle-accurate slice below measures how fast THIS
-    // deployment actually streams elements through the NOVA unit; the
-    // graph walk then prices GEMM fabric time and non-linear waves
-    // together, overlap-aware.
+    // The request's work: the operator graph of one inference of its
+    // workload -- the full-sequence prefill graph, or one decode step
+    // against its KV cache. The cycle-accurate slice below measures how
+    // fast THIS deployment actually streams elements through the NOVA
+    // unit; the graph walk then prices GEMM fabric time and non-linear
+    // waves together, overlap-aware.
     const auto model = workload::by_name(workload_name, seq_len);
     NOVA_EXPECTS(model.has_value());
-    const auto graph = pipeline::build_graph(*model);
+    const auto graph = phase == pipeline::Phase::kDecode
+                           ? pipeline::build_decode_graph(*model, kv_len)
+                           : pipeline::build_graph(*model);
     const std::int64_t total_ops = graph.total_approx_ops();
     const std::int64_t per_router =
         (total_ops + config_.nova.routers - 1) / config_.nova.routers;
@@ -122,7 +131,7 @@ void BatchScheduler::price_requests(
         std::min<std::int64_t>(per_router, config_.sim_elements_cap);
 
     Rng rng(shape_seed(config_.seed, workload_name, seq_len, function,
-                       breakpoints));
+                       breakpoints, phase, kv_len));
     std::vector<std::vector<double>> inputs(
         static_cast<std::size_t>(config_.nova.routers));
     for (auto& stream : inputs) {
@@ -243,14 +252,18 @@ ServeReport BatchScheduler::run(
     const double start = std::max(free_at[instance], head.arrival_us);
 
     // Fuse the FIFO run of already-arrived requests sharing head's PWL
-    // table, up to max_batch.
+    // table AND phase, up to max_batch. Prefill and decode never fuse:
+    // they share no wave shape (a prefill wave streams seq_len-scaled
+    // volumes, a decode wave a single query token's), so a mixed dispatch
+    // could not reuse the broadcast flit train the overlap credit models.
     std::size_t batch_end = queue_head + 1;
     while (batch_end < requests.size() &&
            batch_end - queue_head <
                static_cast<std::size_t>(config_.max_batch) &&
            requests[batch_end].arrival_us <= start &&
            requests[batch_end].function == head.function &&
-           requests[batch_end].breakpoints == head.breakpoints) {
+           requests[batch_end].breakpoints == head.breakpoints &&
+           requests[batch_end].phase == head.phase) {
       ++batch_end;
     }
     const int batch_size = static_cast<int>(batch_end - queue_head);

@@ -6,8 +6,11 @@
 // count:
 //
 //   1. Pricing (parallel): every request is priced from its workload's
-//      full attention-pipeline operator graph (pipeline::build_graph) on
-//      the configured host fabric -- not from the non-linear stream alone.
+//      attention-pipeline operator graph on the configured host fabric --
+//      the full-sequence prefill graph (pipeline::build_graph) or the
+//      single-step decode graph at its KV-cache length
+//      (pipeline::build_decode_graph) -- not from the non-linear stream
+//      alone.
 //      Up to sim_elements_cap elements per router are run through the
 //      cycle-accurate core::SimSession over inputs synthesized
 //      deterministically from (config.seed, request shape); the run's
@@ -21,10 +24,11 @@
 //   2. Dispatch (serial, deterministic): an event-driven loop assigns
 //      requests FIFO to the earliest-free instance. When an instance picks
 //      up work it fuses up to max_batch already-arrived consecutive
-//      requests that share a PWL table (function + breakpoints) into one
-//      dispatch: fused waves reuse the broadcast flit train back-to-back,
-//      so each extra member saves the pipeline-fill latency of its first
-//      wave (the overlap credit below).
+//      requests that share a PWL table (function + breakpoints) AND a
+//      phase into one dispatch: fused waves reuse the broadcast flit train
+//      back-to-back, so each extra member saves the pipeline-fill latency
+//      of its first wave (the overlap credit below). Prefill and decode
+//      requests never fuse -- they share no wave shape.
 //
 // All times are simulated microseconds; the accelerator clock converts the
 // SimSession's cycle counts (config.nova.accel_freq_mhz cycles per us).

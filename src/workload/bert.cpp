@@ -57,13 +57,6 @@ std::optional<BertConfig> by_name(const std::string& name, int seq_len) {
   return std::nullopt;
 }
 
-bool by_name(const std::string& name, int seq_len, BertConfig& out) {
-  const auto config = by_name(name, seq_len);
-  if (!config) return false;
-  out = *config;
-  return true;
-}
-
 ModelWorkload model_workload(const BertConfig& config) {
   // The flat GEMM list and non-linear totals are a flattening of the
   // attention-pipeline operator graph -- one IR, three views (shapes,

@@ -55,12 +55,6 @@ struct BenchmarkEntry {
 [[nodiscard]] std::optional<BertConfig> by_name(const std::string& name,
                                                 int seq_len);
 
-/// Deprecated out-param form of by_name; returns false when `name` matches
-/// no benchmark.
-[[deprecated("use the std::optional-returning by_name overload")]]
-[[nodiscard]] bool by_name(const std::string& name, int seq_len,
-                           BertConfig& out);
-
 /// One GEMM: (m x k) * (k x n), executed `count` times per model inference.
 struct GemmShape {
   std::string label;

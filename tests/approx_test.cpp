@@ -265,17 +265,6 @@ TEST(Functions, FromStringRoundTripsEveryFunction) {
   EXPECT_FALSE(from_string("GELU").has_value());  // names are lower-case
 }
 
-TEST(Functions, DeprecatedFromStringWrapperStillResolves) {
-  // The out-param signature survives one deprecation cycle as a thin
-  // wrapper; keep its contract covered until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  NonLinearFn out = NonLinearFn::kExp;
-  EXPECT_TRUE(from_string("gelu", out));
-  EXPECT_EQ(out, NonLinearFn::kGelu);
-  EXPECT_FALSE(from_string("no-such-fn", out));
-#pragma GCC diagnostic pop
-}
 
 }  // namespace
 }  // namespace nova::approx

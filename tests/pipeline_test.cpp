@@ -16,8 +16,11 @@ namespace nova::pipeline {
 namespace {
 
 std::vector<hw::AcceleratorKind> all_hosts() {
-  return {hw::AcceleratorKind::kReact, hw::AcceleratorKind::kTpuV3,
-          hw::AcceleratorKind::kTpuV4, hw::AcceleratorKind::kJetsonNvdla};
+  // Derived from the resolver catalog: a newly added host is covered by
+  // the exhaustive reconciliation loops automatically.
+  std::vector<hw::AcceleratorKind> hosts;
+  for (const auto& entry : accel::host_catalog()) hosts.push_back(entry.kind);
+  return hosts;
 }
 
 TEST(OpGraph, BuildsTopologicallySortedChain) {
@@ -128,12 +131,143 @@ TEST(OpGraph, FlattenRejectsMixedSoftmaxRowLengths) {
   EXPECT_EQ(wl.nonlinear.total_approx_ops(), graph.total_approx_ops());
 }
 
+TEST(OpGraph, DecodeGraphShapesScaleWithKvCacheNotSeqLen) {
+  // One decode step: every projection / FFN GEMM shrinks to a single query
+  // row while the score/context GEMMs and the softmax row stretch with the
+  // KV cache. config.seq_len must play no part in any volume.
+  const std::int64_t kv = 384;
+  for (const auto& config : workload::paper_benchmarks(128)) {
+    const auto graph = build_decode_graph(config, kv);
+    std::string reason;
+    EXPECT_TRUE(validate(graph, reason)) << config.name << ": " << reason;
+    EXPECT_EQ(graph.phase, Phase::kDecode);
+    EXPECT_EQ(graph.kv_len, kv);
+    EXPECT_EQ(graph.layer_repeat, config.layers);
+    const std::int64_t head_dim = config.hidden / config.heads;
+    for (const auto& node : graph.nodes) {
+      if (node.is_gemm()) {
+        EXPECT_EQ(node.m, 1) << config.name << " / " << node.label;
+      }
+      if (node.label == "attn-scores QK^T") {
+        EXPECT_EQ(node.k, head_dim);
+        EXPECT_EQ(node.n, kv);
+        EXPECT_EQ(node.repeat, config.heads);
+      } else if (node.label == "attn-context AV") {
+        EXPECT_EQ(node.k, kv);
+        EXPECT_EQ(node.n, head_dim);
+      } else if (node.kind == OpKind::kSoftmax) {
+        EXPECT_EQ(node.rows, config.heads);  // one row per head
+        EXPECT_EQ(node.row_len, kv);
+      } else if (node.kind == OpKind::kGelu) {
+        EXPECT_EQ(node.elements,
+                  static_cast<std::int64_t>(config.ffn_stacks) * config.ffn);
+      } else if (node.kind == OpKind::kLayerNormScale) {
+        EXPECT_EQ(node.rows, 1);
+      }
+    }
+    // Same operator chain as prefill: node count and kinds match 1:1.
+    const auto prefill = build_graph(config);
+    ASSERT_EQ(graph.nodes.size(), prefill.nodes.size());
+    for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+      EXPECT_EQ(graph.nodes[i].kind, prefill.nodes[i].kind);
+      EXPECT_EQ(graph.nodes[i].label, prefill.nodes[i].label);
+    }
+    // seq_len independence: a different seq_len yields identical volumes.
+    auto other = config;
+    other.seq_len = 17;
+    const auto same = build_decode_graph(other, kv);
+    EXPECT_EQ(same.total_macs(), graph.total_macs()) << config.name;
+    EXPECT_EQ(same.total_approx_ops(), graph.total_approx_ops());
+  }
+}
+
+TEST(OpGraph, DecodeOpsMatchClosedFormAndGrowWithKvLen) {
+  for (const auto& config : workload::paper_benchmarks(128)) {
+    std::int64_t prev_ops = 0;
+    for (const std::int64_t kv : {1, 128, 1024, 4096}) {
+      const auto graph = build_decode_graph(config, kv);
+      const std::int64_t expected =
+          static_cast<std::int64_t>(config.layers) *
+          (static_cast<std::int64_t>(config.heads) * (2 * kv + 1) +
+           static_cast<std::int64_t>(config.ffn_stacks) * config.ffn + 2);
+      EXPECT_EQ(graph.total_approx_ops(), expected)
+          << config.name << " kv " << kv;
+      EXPECT_EQ(static_cast<std::uint64_t>(graph.total_approx_ops()),
+                accel::closed_form_decode_ops(config, kv));
+      EXPECT_GT(graph.total_approx_ops(), prev_ops);
+      prev_ops = graph.total_approx_ops();
+    }
+  }
+}
+
 TEST(OpGraph, ValidateRejectsForwardDeps) {
   auto graph = build_graph(workload::bert_tiny(16));
   graph.nodes[0].deps.push_back(2);  // forward edge: not a predecessor
   std::string reason;
   EXPECT_FALSE(validate(graph, reason));
   EXPECT_NE(reason.find("predecessor"), std::string::npos);
+}
+
+TEST(OpGraph, ValidateRejectsDegenerateVolumes) {
+  // The decode expansion is the first builder whose volumes vary per
+  // request, so zero/negative volumes must die in validate with a
+  // distinct reason each, instead of slipping through as silent no-ops.
+  const auto reject = [](OpGraph graph, const char* needle) {
+    std::string reason;
+    EXPECT_FALSE(validate(graph, reason));
+    EXPECT_NE(reason.find(needle), std::string::npos) << reason;
+  };
+  const auto base = build_graph(workload::bert_tiny(16));
+  const auto index_of = [&base](OpKind kind) {
+    for (std::size_t i = 0; i < base.nodes.size(); ++i) {
+      if (base.nodes[i].kind == kind) return i;
+    }
+    ADD_FAILURE() << "kind not found";
+    return std::size_t{0};
+  };
+
+  {
+    auto graph = base;
+    graph.nodes[index_of(OpKind::kSoftmax)].rows = 0;
+    reject(graph, "rows >= 1 and row_len >= 1");
+  }
+  {
+    auto graph = base;
+    graph.nodes[index_of(OpKind::kSoftmax)].row_len = 0;
+    reject(graph, "rows >= 1 and row_len >= 1");
+  }
+  {
+    auto graph = base;
+    graph.nodes[index_of(OpKind::kGelu)].elements = 0;
+    reject(graph, "elements >= 1");
+  }
+  {
+    auto graph = base;
+    graph.nodes[index_of(OpKind::kGelu)].elements = -5;
+    reject(graph, "elements >= 1");
+  }
+  {
+    auto graph = base;
+    graph.nodes[index_of(OpKind::kLayerNormScale)].rows = 0;
+    reject(graph, "layernorm node");
+  }
+  {
+    auto graph = base;
+    graph.nodes[index_of(OpKind::kGemm)].m = 0;
+    reject(graph, "non-positive dimension");
+  }
+  {
+    // Phase coherence: decode without a cache length, prefill with one.
+    auto graph = base;
+    graph.phase = Phase::kDecode;
+    graph.kv_len = 0;
+    reject(graph, "kv_len >= 1");
+  }
+  {
+    auto graph = base;
+    graph.kv_len = 64;  // phase stays kPrefill
+    reject(graph, "kv_len == 0");
+  }
 }
 
 TEST(Executor, SerialTimelineReconcilesExactlyWithClosedForm) {
@@ -186,6 +320,75 @@ TEST(Executor, SerialTimelineReconcilesExactlyWithClosedForm) {
           << accel.name << " / " << config.name;
       EXPECT_EQ(flat.approx_ops, ops);
     }
+  }
+}
+
+TEST(Executor, DecodeSerialTimelineReconcilesWithClosedFormReference) {
+  // The decode acceptance contract: with overlap disabled, the decode
+  // executor timeline reconciles EXACTLY with closed_form_decode_cycles --
+  // which spells out the m=1 shape list and op count itself, touching
+  // neither the executor nor build_decode_graph -- for every host x
+  // benchmark x kv_len in {1, 128, 1024}.
+  for (const auto host : all_hosts()) {
+    const auto accel = accel::make_accelerator(host);
+    for (const auto& config : workload::paper_benchmarks(128)) {
+      for (const std::int64_t kv : {1, 128, 1024}) {
+        const auto closed = accel::closed_form_decode_cycles(
+            accel, config, kv,
+            accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, 16});
+        ExecutorConfig exec;
+        exec.choice = accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, 16};
+        exec.overlap = false;
+        const auto timeline = PipelineExecutor(accel, exec)
+                                  .execute(build_decode_graph(config, kv));
+        EXPECT_EQ(timeline.fabric_cycles, closed.compute_cycles)
+            << accel.name << " / " << config.name << " kv " << kv;
+        EXPECT_EQ(timeline.vector_cycles, closed.approx_cycles)
+            << accel.name << " / " << config.name << " kv " << kv;
+        EXPECT_EQ(timeline.span_cycles, closed.total())
+            << accel.name << " / " << config.name << " kv " << kv;
+        EXPECT_EQ(timeline.approx_ops,
+                  accel::closed_form_decode_ops(config, kv));
+      }
+    }
+  }
+}
+
+TEST(Executor, SingleQueryGemmTilesAndSingleRowSoftmaxAreWellFormed) {
+  // The degenerate shapes decode exposes: m=1 GEMM folds must still cost
+  // at least one fold of cycles per execution, and a single-row softmax
+  // (rows=1, one head) must stream its 2*kv_len+1 ops without tripping the
+  // telescoped accounting.
+  workload::BertConfig config{"decode-probe", 1, 64, 1, 128, 16, 0, 1};
+  const std::int64_t kv = 77;
+  const auto graph = build_decode_graph(config, kv);
+  const auto softmax_it =
+      std::find_if(graph.nodes.begin(), graph.nodes.end(),
+                   [](const OpNode& n) { return n.kind == OpKind::kSoftmax; });
+  ASSERT_NE(softmax_it, graph.nodes.end());
+  EXPECT_EQ(softmax_it->rows, 1);
+  EXPECT_EQ(softmax_it->row_len, kv);
+  EXPECT_EQ(softmax_it->approx_ops_per_layer(), 2 * kv + 1);
+
+  for (const bool overlap : {false, true}) {
+    const auto accel = accel::make_accelerator(hw::AcceleratorKind::kTpuV4);
+    ExecutorConfig exec;
+    exec.choice = accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, 16};
+    exec.overlap = overlap;
+    const auto timeline = PipelineExecutor(accel, exec).execute(graph);
+    for (const auto& entry : timeline.entries) {
+      const auto& node = graph.nodes[static_cast<std::size_t>(entry.node)];
+      EXPECT_GE(entry.tiles, 1) << node.label;
+      EXPECT_GE(entry.finish, entry.start) << node.label;
+      if (node.is_gemm()) {
+        // Every m=1 GEMM still pays fill + stream + drain for its folds.
+        EXPECT_GT(entry.cycles, 0u) << node.label;
+        EXPECT_EQ(entry.macs, node.macs_per_layer()) << node.label;
+      }
+    }
+    EXPECT_GT(timeline.span_cycles, 0u);
+    EXPECT_EQ(timeline.approx_ops,
+              static_cast<std::uint64_t>(graph.total_approx_ops()));
   }
 }
 

@@ -2,6 +2,7 @@
 // BatchScheduler's determinism / queueing / batching behaviour.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
 #include "accel/accelerator.hpp"
@@ -98,11 +99,17 @@ TEST(Trace, RejectsMalformedLines) {
     EXPECT_FALSE(parse_trace(in, requests, error));
   }
   {
-    // Extra columns land in the last field; must reject, not parse "16, 99"
-    // as 16.
+    // A sixth column is the phase; anything that isn't prefill/decode must
+    // reject, not be swallowed into the breakpoints field.
     std::istringstream in("1.0, bert-tiny, gelu, 64, 16, 99\n");
     EXPECT_FALSE(parse_trace(in, requests, error));
-    EXPECT_NE(error.find("malformed number"), std::string::npos);
+    EXPECT_NE(error.find("unknown phase"), std::string::npos);
+  }
+  {
+    // More than seven columns is malformed outright.
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, decode, 256, 9\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("expected"), std::string::npos);
   }
   {
     std::istringstream in("1.0, bert-tiny, gelu, 64x, 16\n");
@@ -116,6 +123,101 @@ TEST(Trace, RejectsMalformedLines) {
   {
     std::istringstream in("inf, bert-tiny, gelu, 64, 16\n");
     EXPECT_FALSE(parse_trace(in, requests, error));
+  }
+}
+
+TEST(RequestGenerator, SeqScaleMixMatchesTableWeights) {
+  // Regression for the hardcoded next_below(5) bound: the sequence-length
+  // mix must follow the kSeqScales table {1/4, 1/2, 1, 1, 2} -- the
+  // duplicated 1x entry gets 2/5 of the mass, every other scale 1/5. The
+  // bound is now derived from the table, so a skew here means the sampler
+  // and the table drifted apart.
+  TrafficProfile profile;
+  profile.base_seq_len = 128;
+  profile.decode_fraction = 0.0;  // isolate the prefill seq_len draw
+  const int n = 5000;
+  const auto requests = generate_poisson(n, profile, 17);
+  std::map<int, int> counts;
+  for (const auto& req : requests) counts[req.seq_len] += 1;
+  ASSERT_EQ(counts.size(), 4u) << "expected seq_len buckets 32/64/128/256";
+  const std::map<int, double> expected = {
+      {32, 0.2}, {64, 0.2}, {128, 0.4}, {256, 0.2}};
+  for (const auto& [seq_len, share] : expected) {
+    ASSERT_TRUE(counts.count(seq_len)) << seq_len;
+    const double got = static_cast<double>(counts[seq_len]) / n;
+    EXPECT_NEAR(got, share, 0.04) << "seq_len " << seq_len;
+  }
+}
+
+TEST(RequestGenerator, EmitsMixedPrefillDecodeTraffic) {
+  TrafficProfile profile;  // default decode_fraction = 0.5
+  const auto requests = generate_poisson(400, profile, 31);
+  int prefill = 0, decode = 0;
+  for (const auto& req : requests) {
+    if (req.phase == pipeline::Phase::kDecode) {
+      ++decode;
+      EXPECT_GE(req.kv_len, 1);
+      EXPECT_EQ(req.seq_len, 1);  // one query token
+    } else {
+      ++prefill;
+      EXPECT_EQ(req.kv_len, 0);
+      EXPECT_GE(req.seq_len, 8);
+    }
+  }
+  // Both classes present in roughly the configured proportion.
+  EXPECT_GT(prefill, 100);
+  EXPECT_GT(decode, 100);
+
+  // decode_fraction == 0 reproduces the pre-decode all-prefill stream.
+  profile.decode_fraction = 0.0;
+  for (const auto& req : generate_poisson(100, profile, 31)) {
+    EXPECT_EQ(req.phase, pipeline::Phase::kPrefill);
+  }
+}
+
+TEST(Trace, ParsesPhaseAndKvLenColumns) {
+  std::istringstream in(
+      "5.0, bert-tiny, gelu, 128, 16\n"
+      "1.0, bert-tiny, gelu, 128, 16, prefill\n"
+      "2.0, bert-mini, exp, 1, 16, decode, 768\n"
+      "3.0, bert-tiny, gelu, 64, 16, prefill, 0\n");
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  ASSERT_TRUE(parse_trace(in, requests, error)) << error;
+  ASSERT_EQ(requests.size(), 4u);
+  EXPECT_EQ(requests[0].phase, pipeline::Phase::kPrefill);  // explicit
+  EXPECT_EQ(requests[1].phase, pipeline::Phase::kDecode);
+  EXPECT_EQ(requests[1].kv_len, 768);
+  EXPECT_EQ(requests[1].workload, "bert-mini");
+  EXPECT_EQ(requests[2].phase, pipeline::Phase::kPrefill);  // kv_len 0 ok
+  EXPECT_EQ(requests[3].phase, pipeline::Phase::kPrefill);  // 5-column
+  EXPECT_EQ(requests[3].kv_len, 0);
+}
+
+TEST(Trace, RejectsIncoherentPhaseKvLen) {
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  {
+    // Decode without a cache length cannot be priced.
+    std::istringstream in("1.0, bert-tiny, gelu, 1, 16, decode\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("kv_len"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, bert-tiny, gelu, 1, 16, decode, 0\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("kv_len"), std::string::npos);
+  }
+  {
+    // Prefill claiming a cache would silently mis-price.
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, prefill, 256\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("kv_len"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, bert-tiny, gelu, 1, 16, decode, abc\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("malformed number"), std::string::npos);
   }
 }
 
@@ -274,6 +376,105 @@ TEST(BatchScheduler, HeavierWorkloadsPriceHigher) {
   const auto b = scheduler.run(roberta);
   EXPECT_GT(b.outcomes[0].service_cycles,
             10 * a.outcomes[0].service_cycles);
+}
+
+TEST(BatchScheduler, DecodeNeverFusesWithPrefill) {
+  // Same PWL table, same arrival instant, batching wide open: the fusion
+  // run must still break at every phase boundary, because a decode wave
+  // shares no shape with a prefill wave.
+  std::vector<InferenceRequest> requests(6);
+  for (int i = 0; i < 6; ++i) {
+    requests[static_cast<std::size_t>(i)].id = i;
+    requests[static_cast<std::size_t>(i)].arrival_us = 0.0;
+  }
+  for (const int i : {2, 3, 4}) {
+    auto& req = requests[static_cast<std::size_t>(i)];
+    req.phase = pipeline::Phase::kDecode;
+    req.kv_len = 256;
+    req.seq_len = 1;
+  }
+  auto config = small_pool(1, 1);
+  config.max_batch = 8;
+  const auto report = BatchScheduler(config).run(requests);
+  // [prefill x2][decode x3][prefill x1]: three dispatches, phase-pure.
+  EXPECT_EQ(report.stats.counter("serve.batches"), 3u);
+  std::map<int, pipeline::Phase> batch_phase;
+  for (const auto& outcome : report.outcomes) {
+    const auto it = batch_phase.find(outcome.batch_id);
+    if (it == batch_phase.end()) {
+      batch_phase[outcome.batch_id] = outcome.request.phase;
+    } else {
+      EXPECT_EQ(it->second, outcome.request.phase)
+          << "batch " << outcome.batch_id << " mixes phases";
+    }
+  }
+  EXPECT_EQ(report.outcomes[0].batch_size, 2);
+  EXPECT_EQ(report.outcomes[2].batch_size, 3);
+  EXPECT_EQ(report.outcomes[5].batch_size, 1);
+}
+
+TEST(BatchScheduler, MixedPhaseOutcomesIdenticalAcrossThreadCounts) {
+  // The acceptance contract for mixed traffic: a prefill/decode stream
+  // must price and dispatch bit-identically for every --threads value.
+  TrafficProfile profile;  // default mix: half decode
+  profile.rate_rps = 1e6;
+  const auto requests = generate_poisson(200, profile, 29);
+  int decode_count = 0;
+  for (const auto& req : requests) {
+    if (req.phase == pipeline::Phase::kDecode) ++decode_count;
+  }
+  ASSERT_GT(decode_count, 50);  // the stream genuinely mixes phases
+
+  const auto one = BatchScheduler(small_pool(3, 1)).run(requests);
+  const auto four = BatchScheduler(small_pool(3, 4)).run(requests);
+  const auto eight = BatchScheduler(small_pool(3, 8)).run(requests);
+  ASSERT_EQ(one.outcomes.size(), four.outcomes.size());
+  ASSERT_EQ(one.outcomes.size(), eight.outcomes.size());
+  for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+    for (const auto* other : {&four, &eight}) {
+      const auto& a = one.outcomes[i];
+      const auto& b = other->outcomes[i];
+      EXPECT_EQ(a.request.phase, b.request.phase);
+      EXPECT_EQ(a.instance, b.instance);
+      EXPECT_EQ(a.batch_id, b.batch_id);
+      EXPECT_EQ(a.batch_size, b.batch_size);
+      EXPECT_EQ(a.approx_ops, b.approx_ops);
+      EXPECT_EQ(a.service_cycles, b.service_cycles);
+      EXPECT_DOUBLE_EQ(a.service_us, b.service_us);
+      EXPECT_DOUBLE_EQ(a.start_us, b.start_us);
+      EXPECT_DOUBLE_EQ(a.finish_us, b.finish_us);
+    }
+  }
+  EXPECT_DOUBLE_EQ(one.makespan_us, four.makespan_us);
+  EXPECT_DOUBLE_EQ(one.latency_percentile_us(99.0),
+                   eight.latency_percentile_us(99.0));
+}
+
+TEST(BatchScheduler, DecodePricingScalesWithKvLenAndUndercutsPrefill) {
+  const auto make = [](pipeline::Phase phase, int kv_len) {
+    InferenceRequest req;
+    req.id = 0;
+    req.phase = phase;
+    req.kv_len = kv_len;
+    req.seq_len = phase == pipeline::Phase::kDecode ? 1 : 128;
+    return std::vector<InferenceRequest>{req};
+  };
+  const BatchScheduler scheduler(small_pool(1, 1));
+  const auto minimal = scheduler.run(make(pipeline::Phase::kDecode, 1));
+  const auto small = scheduler.run(make(pipeline::Phase::kDecode, 128));
+  const auto large = scheduler.run(make(pipeline::Phase::kDecode, 4096));
+  const auto prefill = scheduler.run(make(pipeline::Phase::kPrefill, 0));
+  // The degenerate kv_len == 1 step (the smallest possible cycle-accurate
+  // pricing slice) still prices to a positive cost.
+  EXPECT_GT(minimal.outcomes[0].service_cycles, 0u);
+  EXPECT_GT(minimal.outcomes[0].approx_ops, 0);
+  // A deeper cache costs strictly more; a single decode token costs far
+  // less than prefilling the whole 128-token sequence.
+  EXPECT_GT(large.outcomes[0].service_cycles,
+            small.outcomes[0].service_cycles);
+  EXPECT_GT(large.outcomes[0].approx_ops, small.outcomes[0].approx_ops);
+  EXPECT_LT(small.outcomes[0].service_cycles,
+            prefill.outcomes[0].service_cycles);
 }
 
 TEST(BatchScheduler, MoreInstancesReduceTailLatency) {

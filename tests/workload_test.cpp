@@ -113,18 +113,5 @@ TEST(Bert, ByNameResolvesEveryCatalogEntryAndAlias) {
   EXPECT_FALSE(by_name("", 64).has_value());
 }
 
-TEST(Bert, DeprecatedByNameWrapperStillResolves) {
-  // The out-param signature survives one deprecation cycle as a thin
-  // wrapper; keep its contract covered until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  BertConfig out;
-  EXPECT_TRUE(by_name("bert-tiny", 32, out));
-  EXPECT_EQ(out.name, "BERT-tiny");
-  EXPECT_EQ(out.seq_len, 32);
-  EXPECT_FALSE(by_name("no-such-model", 32, out));
-#pragma GCC diagnostic pop
-}
-
 }  // namespace
 }  // namespace nova::workload
