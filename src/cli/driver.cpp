@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "accel/accelerator.hpp"
+#include "analysis/verifier.hpp"
 #include "approx/mlp_fitter.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -342,6 +343,36 @@ void report_workloads(const Options& options,
 /// NOVA instances. Emits a summary table (throughput + latency percentiles)
 /// and a per-instance utilization table; output is deterministic for a
 /// fixed seed regardless of --threads.
+/// --verify: runs the static verifier over the selected workloads' prefill
+/// and decode graphs (full pass suite + host-specific cycle
+/// reconciliation), printing one line per graph. Returns false when any
+/// graph carries error diagnostics (non-zero exit, like the MISMATCH
+/// paths).
+[[nodiscard]] bool report_verify(const Options& options,
+                                 const std::vector<workload::BertConfig>& workloads,
+                                 const accel::AcceleratorModel& accel) {
+  const accel::ApproximatorChoice choice{hw::UnitKind::kNovaNoc,
+                                         options.breakpoints};
+  bool all_ok = true;
+  for (const auto& config : workloads) {
+    const auto check = [&](const char* phase_name,
+                           const pipeline::OpGraph& graph) {
+      const auto report = analysis::reconcile_cycles(graph, accel, choice);
+      std::printf("verify %-16s %-8s on %-6s: %s\n", config.name.c_str(),
+                  phase_name, accel.name.c_str(),
+                  report.ok() ? "ok" : "FAIL");
+      if (!report.ok()) {
+        std::fputs(report.to_string().c_str(), stderr);
+        all_ok = false;
+      }
+    };
+    check("prefill", pipeline::build_graph(config));
+    check("decode", pipeline::build_decode_graph(config, options.kv_len));
+  }
+  std::puts("");
+  return all_ok;
+}
+
 int run_serve(const Options& options, hw::AcceleratorKind host,
               approx::NonLinearFn fn, const core::NovaConfig& cfg) {
   std::vector<serve::InferenceRequest> requests;
@@ -514,6 +545,13 @@ int run(const Options& options) {
   report_accuracy(options, *fn);
   if (options.run_cycle_sim) report_cycle_sim(options, cfg, fit);
   const auto accel_model = accel::make_accelerator(*host);
+  if (options.verify &&
+      !report_verify(options, *workloads, accel_model)) {
+    std::fprintf(stderr,
+                 "nova_sim: static verification failed (see diagnostics "
+                 "above)\n");
+    return 1;
+  }
   report_workloads(options, *workloads, accel_model);
   if (options.pipeline) {
     bool all_reconciled = true;

@@ -24,7 +24,8 @@ std::string wrap_items(const std::vector<std::string>& items,
     if (i + 1 < items.size()) piece += sep;
     if (!first_in_line && line.size() + piece.size() > width) {
       while (!line.empty() && line.back() == ' ') line.pop_back();
-      out += line + "\n";
+      out += line;
+      out += '\n';
       line = indent;
       first_in_line = true;
     }
@@ -131,6 +132,11 @@ std::string usage() {
       "                     per workload (one query token vs a --kv-len KV\n"
       "                     cache); with --serve, generate pure decode\n"
       "                     traffic instead of the mixed default\n"
+      "  --verify           run the OpGraph static verifier (structure,\n"
+      "                     phase, shape, conservation passes + cycle\n"
+      "                     reconciliation) over the selected workloads'\n"
+      "                     prefill and decode graphs; non-zero exit on\n"
+      "                     error diagnostics (full sweep: nova_lint)\n"
       "  --kv-len N         KV-cache length for --decode and the decode\n"
       "                     side of serve traffic    (default: 512)\n"
       "  --waves N          PE waves in the cycle sim  (default: 4)\n"
@@ -191,6 +197,8 @@ bool parse_options(int argc, const char* const* argv, Options& options,
       options.pipeline = true;
     } else if (flag == "--decode") {
       options.decode = true;
+    } else if (flag == "--verify") {
+      options.verify = true;
     } else if (flag == "--kv-len") {
       if (!next(value) ||
           !parse_int(flag, value, 1, 1 << 20, options.kv_len, error))

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/verifier.hpp"
 #include "common/assert.hpp"
 #include "hwmodel/components.hpp"
 
@@ -50,8 +51,14 @@ PipelineExecutor::PipelineExecutor(const accel::AcceleratorModel& accel,
 }
 
 PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
-  std::string reason;
-  NOVA_EXPECTS(validate(graph, reason));
+  // Walk-safety guard (dangling/forward edges, phase coherence) in every
+  // build type; the full verifier suite -- shape dataflow + conservation,
+  // quadratic-ish in nodes -- only in debug builds, since execute() sits
+  // on the serving layer's pricing hot path.
+  analysis::expect_structurally_valid(graph);
+#ifndef NDEBUG
+  analysis::expect_valid(graph);
+#endif
 
   PipelineTimeline timeline;
   timeline.layers = graph.layer_repeat;

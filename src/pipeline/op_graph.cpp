@@ -1,5 +1,6 @@
 #include "pipeline/op_graph.hpp"
 
+#include "analysis/verifier.hpp"
 #include "common/assert.hpp"
 
 namespace nova::pipeline {
@@ -132,6 +133,9 @@ OpGraph build_chain(const workload::BertConfig& config,
     nodes.push_back(
         gemm_node("bottleneck-out", q, h, config.bottleneck, 1, last()));
   }
+  // Expanded straight from a config: the verifier's shape-dataflow and
+  // conservation passes can (and do) re-derive every volume above.
+  graph.origin = GraphOrigin::kConfigExpansion;
   return graph;
 }
 
@@ -139,8 +143,7 @@ OpGraph build_chain(const workload::BertConfig& config,
 
 OpGraph build_graph(const workload::BertConfig& config) {
   OpGraph graph = build_chain(config, config.seq_len, config.seq_len);
-  std::string reason;
-  NOVA_ASSERT(validate(graph, reason));
+  analysis::expect_valid(graph);
   return graph;
 }
 
@@ -150,8 +153,7 @@ OpGraph build_decode_graph(const workload::BertConfig& config,
   OpGraph graph = build_chain(config, 1, kv_len);
   graph.phase = Phase::kDecode;
   graph.kv_len = kv_len;
-  std::string reason;
-  NOVA_ASSERT(validate(graph, reason));
+  analysis::expect_valid(graph);
   return graph;
 }
 
@@ -227,68 +229,6 @@ workload::ModelWorkload flatten(const OpGraph& graph) {
     }
   }
   return wl;
-}
-
-bool validate(const OpGraph& graph, std::string& reason) {
-  if (graph.layer_repeat < 1) {
-    reason = "layer_repeat must be >= 1";
-    return false;
-  }
-  // Phase/kv_len coherence: a decode graph without its cache length (or a
-  // prefill graph claiming one) would silently mis-price every consumer
-  // that branches on the tag.
-  if (graph.phase == Phase::kDecode && graph.kv_len < 1) {
-    reason = "decode graph must carry kv_len >= 1";
-    return false;
-  }
-  if (graph.phase == Phase::kPrefill && graph.kv_len != 0) {
-    reason = "prefill graph must keep kv_len == 0";
-    return false;
-  }
-  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
-    const auto& node = graph.nodes[i];
-    // Per-kind volumes must be strictly positive: the decode expansion is
-    // the first builder whose volumes are not one fixed shape per
-    // benchmark, and a zero-volume node (single-row softmax collapsing to
-    // rows=0, empty GELU) is a construction bug that used to slip through
-    // as a silent no-op entry.
-    switch (node.kind) {
-      case OpKind::kGemm:
-        if (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1) {
-          reason =
-              "gemm node '" + node.label + "' has a non-positive dimension";
-          return false;
-        }
-        break;
-      case OpKind::kSoftmax:
-        if (node.rows < 1 || node.row_len < 1) {
-          reason = "softmax node '" + node.label +
-                   "' must have rows >= 1 and row_len >= 1";
-          return false;
-        }
-        break;
-      case OpKind::kGelu:
-        if (node.elements < 1) {
-          reason = "gelu node '" + node.label + "' must have elements >= 1";
-          return false;
-        }
-        break;
-      case OpKind::kLayerNormScale:
-        if (node.rows < 1) {
-          reason = "layernorm node '" + node.label + "' must have rows >= 1";
-          return false;
-        }
-        break;
-    }
-    for (const int dep : node.deps) {
-      if (dep < 0 || dep >= static_cast<int>(i)) {
-        reason = "node '" + node.label +
-                 "' has a dep that is not a strict predecessor";
-        return false;
-      }
-    }
-  }
-  return true;
 }
 
 }  // namespace nova::pipeline

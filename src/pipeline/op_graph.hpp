@@ -44,6 +44,14 @@ enum class OpKind { kGemm, kSoftmax, kGelu, kLayerNormScale };
 
 [[nodiscard]] const char* to_string(OpKind kind);
 
+/// How a graph came to be, which decides how much the static verifier
+/// (analysis::run_passes) can re-derive about it. Config expansions carry a
+/// BertConfig that fully determines every node's shape, so the shape
+/// dataflow and conservation passes re-check all of them; adapted graphs
+/// (graph_of over an arbitrary flat workload, hand-built test graphs) have
+/// no such ground truth and get structural/phase checking only.
+enum class GraphOrigin { kAdapted, kConfigExpansion };
+
 /// One operator of the encoder-layer graph. Volumes are per encoder layer;
 /// the graph's `layer_repeat` scales them to a full inference.
 struct OpNode {
@@ -65,6 +73,11 @@ struct OpNode {
   /// are stored in topological order, so every dep index is smaller than
   /// the node's own index.
   std::vector<int> deps;
+  /// Per-node phase override for future mixed-phase graphs (chunked-prefill
+  /// schedules interleaving decode steps). Builders leave it empty -- the
+  /// node inherits the graph's phase -- and the verifier's phase-coherence
+  /// pass rejects any edge whose endpoints resolve to different phases.
+  std::optional<Phase> phase;
 
   [[nodiscard]] bool is_gemm() const { return kind == OpKind::kGemm; }
 
@@ -97,6 +110,8 @@ struct OpGraph {
   /// expanded at (kv_len >= 1); prefill graphs keep kv_len == 0.
   Phase phase = Phase::kPrefill;
   std::int64_t kv_len = 0;
+  /// Provenance tag deciding verifier depth (see GraphOrigin).
+  GraphOrigin origin = GraphOrigin::kAdapted;
 
   [[nodiscard]] std::int64_t total_macs() const {
     std::int64_t total = 0;
@@ -144,12 +159,9 @@ struct OpGraph {
 /// which is what keeps the three views consistent by construction.
 [[nodiscard]] workload::ModelWorkload flatten(const OpGraph& graph);
 
-/// Structural sanity: deps in range and strictly back-pointing (topological
-/// order), per-kind volumes strictly positive (a softmax needs rows >= 1
-/// and row_len >= 1, a GELU elements >= 1, a layernorm rows >= 1 -- a
-/// zero-volume node is a construction bug, not a no-op), and the phase tag
-/// coherent (decode graphs carry kv_len >= 1, prefill graphs kv_len == 0).
-/// Returns false with a reason on violation.
-[[nodiscard]] bool validate(const OpGraph& graph, std::string& reason);
+// Graph validation lives in analysis/verifier.hpp (analysis::run_passes):
+// the old bool+reason pipeline::validate reject-list was subsumed by the
+// verifier's structure / shape-dataflow / phase-coherence / conservation
+// passes, which report structured diagnostics instead of one string.
 
 }  // namespace nova::pipeline

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "accel/accelerator.hpp"
+#include "analysis/verifier.hpp"
 #include "approx/mlp_fitter.hpp"
 #include "common/assert.hpp"
 #include "common/rng.hpp"
@@ -124,6 +125,12 @@ void BatchScheduler::price_requests(
     const auto graph = phase == pipeline::Phase::kDecode
                            ? pipeline::build_decode_graph(*model, kv_len)
                            : pipeline::build_graph(*model);
+#ifndef NDEBUG
+    // Full verifier sweep before any pricing math reads the graph. The
+    // builders already ran it, but this pins the *scheduler's* entry
+    // contract independently of what build_graph happens to guarantee.
+    analysis::expect_valid(graph);
+#endif
     const std::int64_t total_ops = graph.total_approx_ops();
     const std::int64_t per_router =
         (total_ops + config_.nova.routers - 1) / config_.nova.routers;

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "accel/accelerator.hpp"
+#include "analysis/verifier.hpp"
 #include "pipeline/executor.hpp"
 #include "pipeline/op_graph.hpp"
 #include "workload/bert.hpp"
@@ -26,8 +27,8 @@ std::vector<hw::AcceleratorKind> all_hosts() {
 TEST(OpGraph, BuildsTopologicallySortedChain) {
   for (const auto& config : workload::paper_benchmarks(128)) {
     const auto graph = build_graph(config);
-    std::string reason;
-    EXPECT_TRUE(validate(graph, reason)) << config.name << ": " << reason;
+    const auto report = analysis::run_passes(graph);
+    EXPECT_TRUE(report.ok()) << config.name << ":\n" << report.to_string();
     EXPECT_EQ(graph.layer_repeat, config.layers);
     ASSERT_FALSE(graph.nodes.empty());
     // Every node (except the first) depends on its predecessor: the
@@ -98,8 +99,8 @@ TEST(OpGraph, GraphOfRoundTripsArbitraryWorkloads) {
   wl.nonlinear.gelu_elements = 100;
   wl.nonlinear.layernorm_rsqrt_ops = 5;
   const auto graph = graph_of(wl);
-  std::string reason;
-  EXPECT_TRUE(validate(graph, reason)) << reason;
+  const auto report = analysis::run_passes(graph);
+  EXPECT_TRUE(report.ok()) << report.to_string();
   const auto back = flatten(graph);
   EXPECT_EQ(back.total_macs(), wl.total_macs());
   EXPECT_EQ(back.nonlinear.total_approx_ops(),
@@ -138,8 +139,8 @@ TEST(OpGraph, DecodeGraphShapesScaleWithKvCacheNotSeqLen) {
   const std::int64_t kv = 384;
   for (const auto& config : workload::paper_benchmarks(128)) {
     const auto graph = build_decode_graph(config, kv);
-    std::string reason;
-    EXPECT_TRUE(validate(graph, reason)) << config.name << ": " << reason;
+    const auto report = analysis::run_passes(graph);
+    EXPECT_TRUE(report.ok()) << config.name << ":\n" << report.to_string();
     EXPECT_EQ(graph.phase, Phase::kDecode);
     EXPECT_EQ(graph.kv_len, kv);
     EXPECT_EQ(graph.layer_repeat, config.layers);
@@ -200,75 +201,9 @@ TEST(OpGraph, DecodeOpsMatchClosedFormAndGrowWithKvLen) {
   }
 }
 
-TEST(OpGraph, ValidateRejectsForwardDeps) {
-  auto graph = build_graph(workload::bert_tiny(16));
-  graph.nodes[0].deps.push_back(2);  // forward edge: not a predecessor
-  std::string reason;
-  EXPECT_FALSE(validate(graph, reason));
-  EXPECT_NE(reason.find("predecessor"), std::string::npos);
-}
-
-TEST(OpGraph, ValidateRejectsDegenerateVolumes) {
-  // The decode expansion is the first builder whose volumes vary per
-  // request, so zero/negative volumes must die in validate with a
-  // distinct reason each, instead of slipping through as silent no-ops.
-  const auto reject = [](OpGraph graph, const char* needle) {
-    std::string reason;
-    EXPECT_FALSE(validate(graph, reason));
-    EXPECT_NE(reason.find(needle), std::string::npos) << reason;
-  };
-  const auto base = build_graph(workload::bert_tiny(16));
-  const auto index_of = [&base](OpKind kind) {
-    for (std::size_t i = 0; i < base.nodes.size(); ++i) {
-      if (base.nodes[i].kind == kind) return i;
-    }
-    ADD_FAILURE() << "kind not found";
-    return std::size_t{0};
-  };
-
-  {
-    auto graph = base;
-    graph.nodes[index_of(OpKind::kSoftmax)].rows = 0;
-    reject(graph, "rows >= 1 and row_len >= 1");
-  }
-  {
-    auto graph = base;
-    graph.nodes[index_of(OpKind::kSoftmax)].row_len = 0;
-    reject(graph, "rows >= 1 and row_len >= 1");
-  }
-  {
-    auto graph = base;
-    graph.nodes[index_of(OpKind::kGelu)].elements = 0;
-    reject(graph, "elements >= 1");
-  }
-  {
-    auto graph = base;
-    graph.nodes[index_of(OpKind::kGelu)].elements = -5;
-    reject(graph, "elements >= 1");
-  }
-  {
-    auto graph = base;
-    graph.nodes[index_of(OpKind::kLayerNormScale)].rows = 0;
-    reject(graph, "layernorm node");
-  }
-  {
-    auto graph = base;
-    graph.nodes[index_of(OpKind::kGemm)].m = 0;
-    reject(graph, "non-positive dimension");
-  }
-  {
-    // Phase coherence: decode without a cache length, prefill with one.
-    auto graph = base;
-    graph.phase = Phase::kDecode;
-    graph.kv_len = 0;
-    reject(graph, "kv_len >= 1");
-  }
-  {
-    auto graph = base;
-    graph.kv_len = 64;  // phase stays kPrefill
-    reject(graph, "kv_len == 0");
-  }
-}
+// Negative-path coverage (forward deps, degenerate volumes, phase/kv_len
+// incoherence, ...) lives in analysis_test.cpp now: the verifier owns
+// rejection and the tests there assert on stable check ids.
 
 TEST(Executor, SerialTimelineReconcilesExactlyWithClosedForm) {
   // The acceptance contract of the pipeline refactor: with overlap
