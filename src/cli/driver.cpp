@@ -373,8 +373,63 @@ void report_workloads(const Options& options,
   return all_ok;
 }
 
+/// The surrogate-pricing audit tables: how much exact work admission spent
+/// (anchors per class vs distinct shapes) and, in hybrid mode, the sampled
+/// exact-vs-surrogate reconciliation with its max relative error.
+void report_surrogate(const Options& options,
+                      const serve::SurrogateAudit& audit) {
+  Table classes("Surrogate pricing: " +
+                std::string(serve::to_string(audit.mode)) + " mode, " +
+                std::to_string(audit.anchors_priced) + " anchor runs for " +
+                std::to_string(audit.distinct_shapes) + " distinct shapes");
+  classes.set_header({"metric", "value"});
+  classes.add_row({"distinct shapes", std::to_string(audit.distinct_shapes)});
+  classes.add_row({"pricing classes", std::to_string(audit.classes)});
+  classes.add_row({"anchor runs (cycle-accurate)",
+                   std::to_string(audit.anchors_priced)});
+  classes.add_row(
+      {"exact runs saved",
+       std::to_string(audit.distinct_shapes >= audit.anchors_priced
+                          ? audit.distinct_shapes - audit.anchors_priced
+                          : 0)});
+  if (audit.mode == serve::PricingMode::kHybrid) {
+    classes.add_row({"reconciliation samples",
+                     std::to_string(audit.samples.size())});
+    classes.add_row({"max relative error",
+                     Table::num(audit.max_rel_error, 6)});
+    classes.add_row({"tolerance", Table::num(audit.tolerance, 6)});
+    classes.add_row({"within tolerance",
+                     audit.within_tolerance ? "yes" : "DRIFT"});
+  }
+  emit(classes, options.csv);
+
+  if (audit.samples.empty()) return;
+  Table samples("Hybrid reconciliation samples (exact re-pricing vs "
+                "surrogate)");
+  samples.set_header({"workload", "function", "phase", "len", "exact cyc",
+                      "surrogate cyc", "rel err"});
+  for (const auto& sample : audit.samples) {
+    samples.add_row(
+        {sample.shape.workload, approx::to_string(sample.shape.function),
+         pipeline::to_string(sample.shape.phase),
+         std::to_string(sample.shape.length()),
+         Table::num(sample.exact_cycles, 0),
+         Table::num(sample.surrogate_cycles, 0),
+         Table::num(sample.rel_error, 6)});
+  }
+  emit(samples, options.csv);
+}
+
 int run_serve(const Options& options, hw::AcceleratorKind host,
               approx::NonLinearFn fn, const core::NovaConfig& cfg) {
+  const auto pricing = serve::pricing_mode_from_string(options.pricing);
+  if (!pricing) {
+    std::fprintf(stderr,
+                 "nova_sim: unknown pricing mode '%s' (expected exact, "
+                 "surrogate, or hybrid)\n",
+                 options.pricing.c_str());
+    return 2;
+  }
   std::vector<serve::InferenceRequest> requests;
   if (!options.trace_path.empty()) {
     std::string error;
@@ -418,6 +473,9 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
   serve_cfg.threads = options.threads;
   serve_cfg.max_batch = options.max_batch;
   serve_cfg.seed = options.seed;
+  serve_cfg.pricing = *pricing;
+  serve_cfg.surrogate_anchors = options.surrogate_anchors;
+  serve_cfg.surrogate_tol = options.surrogate_tol;
 
   const serve::BatchScheduler scheduler(serve_cfg);
   const auto report = scheduler.run(requests);
@@ -501,6 +559,19 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
                        Table::num(max_latency, 3)});
   }
   emit(per_phase, options.csv);
+
+  if (*pricing != serve::PricingMode::kExact) {
+    report_surrogate(options, report.surrogate);
+  }
+  if (*pricing == serve::PricingMode::kHybrid &&
+      !report.surrogate.within_tolerance) {
+    std::fprintf(stderr,
+                 "nova_sim: hybrid pricing drift: surrogate max relative "
+                 "error %.6f exceeds tolerance %.6f (see reconciliation "
+                 "table)\n",
+                 report.surrogate.max_rel_error, report.surrogate.tolerance);
+    return 1;
+  }
   return 0;
 }
 

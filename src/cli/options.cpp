@@ -159,6 +159,15 @@ std::string usage() {
       "                     breakpoints' lines instead of Poisson arrivals\n"
       "                     (implies --serve); --workload/--function narrow\n"
       "                     the generated traffic mix\n"
+      "  --pricing MODE     admission pricing: exact (cycle-accurate run\n"
+      "                     per distinct shape), surrogate (PWL cost model\n"
+      "                     anchored by a few such runs), or hybrid\n"
+      "                     (surrogate + sampled exact reconciliation;\n"
+      "                     non-zero exit on drift)   (default: exact)\n"
+      "  --surrogate-anchors N  max anchor runs per (workload, function,\n"
+      "                     breakpoints, phase) class  (default: 8)\n"
+      "  --surrogate-tol X  hybrid reconciliation tolerance, relative\n"
+      "                     service-cycle error        (default: 0.02)\n"
       "\n"
       "Examples:\n"
       "  nova_sim --workload bert --seq 128\n"
@@ -262,6 +271,18 @@ bool parse_options(int argc, const char* const* argv, Options& options,
     } else if (flag == "--batch") {
       if (!next(value) ||
           !parse_int(flag, value, 1, 4096, options.max_batch, error))
+        return false;
+    } else if (flag == "--pricing") {
+      if (!next(value)) return false;
+      options.pricing = value;
+    } else if (flag == "--surrogate-anchors") {
+      if (!next(value) ||
+          !parse_int(flag, value, 2, 256, options.surrogate_anchors, error))
+        return false;
+    } else if (flag == "--surrogate-tol") {
+      if (!next(value) ||
+          !parse_double(flag, value, 1e-6, 1.0, options.surrogate_tol,
+                        error))
         return false;
     } else {
       error = "unknown flag '" + flag + "'";

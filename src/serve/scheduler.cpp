@@ -1,51 +1,55 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
-#include <thread>
-#include <tuple>
-#include <utility>
 
 #include "accel/accelerator.hpp"
-#include "analysis/verifier.hpp"
 #include "approx/mlp_fitter.hpp"
 #include "common/assert.hpp"
-#include "common/rng.hpp"
-#include "core/sim_session.hpp"
-#include "pipeline/executor.hpp"
-#include "workload/bert.hpp"
 
 namespace nova::serve {
 
 namespace {
 
-/// Input-synthesis seed for one request shape: FNV-1a over the shape
-/// fields mixed with the base seed, so an identical shape prices from
-/// identical inputs in every stream, regardless of what other requests
-/// ride along. Phase and kv_len are part of the shape: a decode step and a
-/// prefill at the same seq_len are different work.
-std::uint64_t shape_seed(std::uint64_t base, const std::string& workload,
-                         int seq_len, approx::NonLinearFn function,
-                         int breakpoints, pipeline::Phase phase, int kv_len) {
-  std::uint64_t h = 0xCBF29CE484222325ULL ^ base;
-  const auto mix = [&h](std::uint64_t value) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (value >> (8 * byte)) & 0xFF;
-      h *= 0x100000001B3ULL;
+/// Eager stream-contract validation: the generators guarantee all of this,
+/// but hand-built request vectors have violated it in practice, and a
+/// violation does not crash -- it dispatches in a silently wrong order or
+/// mis-prices a phase. Active in every build type (like NOVA_EXPECTS),
+/// with a message naming the offending request.
+void validate_stream(const std::vector<InferenceRequest>& requests) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& req = requests[i];
+    const auto fail = [&](const char* what) {
+      std::fprintf(stderr,
+                   "nova: BatchScheduler::run precondition violation: "
+                   "request at position %zu (id %d, workload '%s', "
+                   "arrival %g us): %s\n",
+                   i, req.id, req.workload.c_str(), req.arrival_us, what);
+      std::abort();
+    };
+    if (req.id != static_cast<int>(i)) {
+      fail("ids must be 0..n-1 in stream order (re-number after sorting)");
     }
-  };
-  for (const char c : workload) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ULL;
+    if (!std::isfinite(req.arrival_us) || req.arrival_us < 0.0) {
+      fail("arrival_us must be finite and >= 0");
+    }
+    if (i > 0 && requests[i - 1].arrival_us > req.arrival_us) {
+      fail("requests must be sorted by arrival_us (earlier request "
+           "arrives later)");
+    }
+    if (req.seq_len < 1 || req.breakpoints < 2) {
+      fail("seq_len must be >= 1 and breakpoints >= 2");
+    }
+    if (req.phase == pipeline::Phase::kDecode && req.kv_len < 1) {
+      fail("decode requests need kv_len >= 1");
+    }
+    if (req.phase == pipeline::Phase::kPrefill && req.kv_len != 0) {
+      fail("prefill requests must not carry a non-zero kv_len");
+    }
   }
-  mix(static_cast<std::uint64_t>(seq_len));
-  mix(static_cast<std::uint64_t>(function));
-  mix(static_cast<std::uint64_t>(breakpoints));
-  mix(static_cast<std::uint64_t>(phase));
-  mix(static_cast<std::uint64_t>(kv_len));
-  return h;
 }
 
 }  // namespace
@@ -61,6 +65,9 @@ BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
   NOVA_EXPECTS(config.max_batch >= 1);
   NOVA_EXPECTS(config.sim_elements_cap >= 1);
   NOVA_EXPECTS(config.nova.accel_freq_mhz > 0.0);
+  NOVA_EXPECTS(config.surrogate_anchors >= 2);
+  NOVA_EXPECTS(config.surrogate_tol > 0.0);
+  NOVA_EXPECTS(config.hybrid_samples >= 1);
   // Graph pricing counts fabric cycles at the host's clock and converts
   // the whole span at nova.accel_freq_mhz; a host/NOVA clock mismatch
   // would silently mis-scale the GEMM share of every latency, so the two
@@ -71,171 +78,109 @@ BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
 
 void BatchScheduler::price_requests(
     const std::vector<InferenceRequest>& requests,
-    std::vector<RequestOutcome>& outcomes) const {
-  auto& library = approx::PwlLibrary::instance();
-
+    std::vector<RequestOutcome>& outcomes, SurrogateAudit& audit) const {
   // NOVA's service time is input-independent (a wave completes when the
   // full tagged flit train has broadcast, regardless of the data values),
-  // so pricing is memoized per distinct (workload, seq_len, function,
-  // breakpoints, phase, kv_len) tuple; the worker pool runs the distinct
-  // cycle-accurate simulations concurrently.
-  struct Priced {
-    std::int64_t approx_ops = 0;
-    double service_cycles = 0.0;
-    int wave_latency_cycles = 0;
-  };
-  using Key = std::tuple<std::string, int, approx::NonLinearFn, int,
-                         pipeline::Phase, int>;
-  std::map<Key, std::vector<int>> groups;
+  // so pricing is memoized per distinct shape; only the distinct set ever
+  // touches a pricing path.
+  std::map<ShapeKey, std::vector<int>> groups;
   for (const auto& req : requests) {
-    groups[Key{req.workload, req.seq_len, req.function, req.breakpoints,
-               req.phase, req.kv_len}]
+    groups[ShapeKey{req.workload, req.seq_len, req.function, req.breakpoints,
+                    req.phase, req.kv_len}]
         .push_back(req.id);
   }
-  std::vector<const std::pair<const Key, std::vector<int>>*> distinct;
+  std::vector<ShapeKey> distinct;
   distinct.reserve(groups.size());
-  for (const auto& group : groups) distinct.push_back(&group);
+  for (const auto& group : groups) distinct.push_back(group.first);
 
   // Pre-warm every PWL table the stream needs on this thread: training is
   // expensive and PwlLibrary::get serializes it, so warming first keeps
   // the workers out of each other's way (and out of the training path
   // entirely). One call per distinct shape, not per request.
-  for (const auto* group : distinct) {
-    (void)library.get(std::get<2>(group->first), std::get<3>(group->first));
+  auto& library = approx::PwlLibrary::instance();
+  for (const auto& shape : distinct) {
+    (void)library.get(shape.function, shape.breakpoints);
   }
 
-  std::vector<Priced> priced(distinct.size());
+  const ExactPricer pricer(PricerConfig{config_.nova, config_.host,
+                                        config_.seed,
+                                        config_.sim_elements_cap});
+  audit.mode = config_.pricing;
+  audit.distinct_shapes = distinct.size();
+  audit.tolerance = config_.surrogate_tol;
 
-  const auto price_tuple = [this, &library, &distinct,
-                            &priced](std::size_t tuple_index) {
-    const auto& [key, ids] = *distinct[tuple_index];
-    const auto& [workload_name, seq_len, function, breakpoints, phase,
-                 kv_len] = key;
-    const auto& table = library.get(function, breakpoints);
-    const auto domain = table.domain();
-
-    // The request's work: the operator graph of one inference of its
-    // workload -- the full-sequence prefill graph, or one decode step
-    // against its KV cache. The cycle-accurate slice below measures how
-    // fast THIS deployment actually streams elements through the NOVA
-    // unit; the graph walk then prices GEMM fabric time and non-linear
-    // waves together, overlap-aware.
-    const auto model = workload::by_name(workload_name, seq_len);
-    NOVA_EXPECTS(model.has_value());
-    const auto graph = phase == pipeline::Phase::kDecode
-                           ? pipeline::build_decode_graph(*model, kv_len)
-                           : pipeline::build_graph(*model);
-#ifndef NDEBUG
-    // Full verifier sweep before any pricing math reads the graph. The
-    // builders already ran it, but this pins the *scheduler's* entry
-    // contract independently of what build_graph happens to guarantee.
-    analysis::expect_valid(graph);
-#endif
-    const std::int64_t total_ops = graph.total_approx_ops();
-    const std::int64_t per_router =
-        (total_ops + config_.nova.routers - 1) / config_.nova.routers;
-    const std::int64_t simulated =
-        std::min<std::int64_t>(per_router, config_.sim_elements_cap);
-
-    Rng rng(shape_seed(config_.seed, workload_name, seq_len, function,
-                       breakpoints, phase, kv_len));
-    std::vector<std::vector<double>> inputs(
-        static_cast<std::size_t>(config_.nova.routers));
-    for (auto& stream : inputs) {
-      stream.reserve(static_cast<std::size_t>(simulated));
-      for (std::int64_t i = 0; i < simulated; ++i) {
-        stream.push_back(rng.uniform(domain.lo, domain.hi));
-      }
-    }
-    core::SimSession session(config_.nova, table, inputs);
-    const auto result = session.run();
-
-    // Steady-state wave rate of this deployment: once the two-stage
-    // pipeline is filled, waves retire at a constant per-wave rate,
-    // measured here net of the fill latency. This calibrates the graph
-    // walk's vector resource, replacing the ideal one-element-per-neuron
-    // assumption with the simulated reality.
-    const double cycles = static_cast<double>(result.accel_cycles);
-    const auto waves_sim =
-        static_cast<double>(result.stats.counter("unit.waves"));
-    const double fill = static_cast<double>(result.wave_latency_cycles - 1);
-    const double per_wave = waves_sim > 1.0
-                                ? (cycles - 1.0 - fill) / (waves_sim - 1.0)
-                                : std::max(cycles, 1.0);
-    const double elems_per_wave =
-        static_cast<double>(config_.nova.routers) *
-        static_cast<double>(config_.nova.neurons_per_router);
-
-    // Price the whole inference from the operator graph: GEMMs on the host
-    // fabric, non-linear waves on the measured NOVA rate, double-buffered
-    // overlap between the two streams.
-    pipeline::ExecutorConfig exec_config;
-    exec_config.choice =
-        accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, breakpoints};
-    exec_config.overlap = true;
-    exec_config.vector_elems_per_cycle =
-        elems_per_wave / std::max(per_wave, 1e-9);
-    exec_config.vector_fill_cycles = static_cast<sim::Cycle>(
-        std::max(1, result.wave_latency_cycles - 1));
-    const auto timeline =
-        pipeline::PipelineExecutor(accel::make_accelerator(config_.host),
-                                   exec_config)
-            .execute(graph);
-
-    priced[tuple_index] = Priced{total_ops,
-                                 static_cast<double>(timeline.span_cycles),
-                                 result.wave_latency_cycles};
-  };
-
-  const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(config_.threads), distinct.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < distinct.size(); ++i) price_tuple(i);
+  std::vector<ShapeCost> costs;
+  if (config_.pricing == PricingMode::kExact) {
+    costs = price_shapes(pricer, distinct, config_.threads);
   } else {
-    // Each worker claims tuples off a shared counter; results land in
-    // per-tuple slots, so the interleaving cannot affect the outcome.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t i = next.fetch_add(1); i < distinct.size();
-             i = next.fetch_add(1)) {
-          price_tuple(i);
-        }
-      });
+    const PricingSurrogate surrogate(pricer, distinct,
+                                     config_.surrogate_anchors,
+                                     config_.threads);
+    audit.classes = surrogate.classes().size();
+    audit.anchors_priced = surrogate.anchors_priced();
+    costs.reserve(distinct.size());
+    for (const auto& shape : distinct) {
+      costs.push_back(surrogate.predict(shape));
     }
-    for (auto& worker : pool) worker.join();
+    if (config_.pricing == PricingMode::kHybrid) {
+      // Deterministic reconciliation sample: k shapes spread evenly over
+      // the shape-sorted distinct set (indices depend only on the set
+      // size, never on threads or timing). Each is re-priced through the
+      // exact path and compared on service cycles.
+      const std::size_t k = std::min<std::size_t>(
+          static_cast<std::size_t>(config_.hybrid_samples), distinct.size());
+      std::vector<std::size_t> picks;
+      picks.reserve(k);
+      for (std::size_t s = 0; s < k; ++s) {
+        picks.push_back(k == 1 ? 0
+                               : s * (distinct.size() - 1) / (k - 1));
+      }
+      picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+      std::vector<ShapeKey> sampled;
+      sampled.reserve(picks.size());
+      for (const auto index : picks) sampled.push_back(distinct[index]);
+      const auto exact = price_shapes(pricer, sampled, config_.threads);
+      for (std::size_t s = 0; s < picks.size(); ++s) {
+        SurrogateSample sample;
+        sample.shape = sampled[s];
+        sample.exact_cycles = exact[s].service_cycles;
+        sample.surrogate_cycles = costs[picks[s]].service_cycles;
+        sample.rel_error =
+            std::abs(sample.surrogate_cycles - sample.exact_cycles) /
+            std::max(sample.exact_cycles, 1.0);
+        audit.max_rel_error =
+            std::max(audit.max_rel_error, sample.rel_error);
+        audit.samples.push_back(std::move(sample));
+      }
+      audit.within_tolerance = audit.max_rel_error <= audit.tolerance;
+    }
   }
 
   for (std::size_t t = 0; t < distinct.size(); ++t) {
-    for (const int id : distinct[t]->second) {
+    for (const int id : groups[distinct[t]]) {
       auto& outcome = outcomes[static_cast<std::size_t>(id)];
       outcome.request = requests[static_cast<std::size_t>(id)];
-      outcome.approx_ops = priced[t].approx_ops;
+      outcome.approx_ops = costs[t].approx_ops;
       outcome.service_cycles =
-          static_cast<sim::Cycle>(std::llround(priced[t].service_cycles));
-      outcome.wave_latency_cycles = priced[t].wave_latency_cycles;
-      outcome.service_us =
-          priced[t].service_cycles / config_.nova.accel_freq_mhz;
+          static_cast<sim::Cycle>(std::llround(costs[t].service_cycles));
+      outcome.wave_latency_cycles = costs[t].wave_latency_cycles;
+      outcome.service_us = costs[t].service_cycles / config_.nova.accel_freq_mhz;
     }
   }
 }
 
 ServeReport BatchScheduler::run(
     const std::vector<InferenceRequest>& requests) const {
+  validate_stream(requests);
   ServeReport report;
   report.outcomes.resize(requests.size());
   report.instances.resize(static_cast<std::size_t>(config_.instances));
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    NOVA_EXPECTS(requests[i].id == static_cast<int>(i));
-    NOVA_EXPECTS(i == 0 ||
-                 requests[i - 1].arrival_us <= requests[i].arrival_us);
-  }
+  report.surrogate.mode = config_.pricing;
+  report.surrogate.tolerance = config_.surrogate_tol;
   if (requests.empty()) return report;
 
-  // Phase 1: price every request with the cycle-accurate simulator.
-  price_requests(requests, report.outcomes);
+  // Phase 1: price every request (exact, surrogate, or hybrid mode).
+  price_requests(requests, report.outcomes, report.surrogate);
 
   // Phase 2: deterministic event-driven dispatch.
   std::vector<double> free_at(static_cast<std::size_t>(config_.instances),

@@ -11,13 +11,21 @@
 //      single-step decode graph at its KV-cache length
 //      (pipeline::build_decode_graph) -- not from the non-linear stream
 //      alone.
-//      Up to sim_elements_cap elements per router are run through the
-//      cycle-accurate core::SimSession over inputs synthesized
+//      In `exact` pricing mode every distinct shape runs the cycle-accurate
+//      path (serve::ExactPricer): up to sim_elements_cap elements per
+//      router through core::SimSession over inputs synthesized
 //      deterministically from (config.seed, request shape); the run's
 //      measured steady-state wave rate and pipeline fill then parameterize
 //      a PipelineExecutor walk of the graph, whose overlap-aware makespan
 //      (fabric GEMM tiles overlapping NOVA waves) is the request's service
-//      time. Requests are independent, so the worker pool shares nothing
+//      time. In `surrogate` mode only a handful of log-spaced anchor
+//      shapes per (workload, phase, function, breakpoints) class run that
+//      path; everything else interpolates on the fitted monotone PWL cost
+//      curves (serve::PricingSurrogate). `hybrid` runs the surrogate and
+//      additionally re-prices a deterministic sample of distinct shapes
+//      exactly, reconciling the two within surrogate_tol (the audit lands
+//      in ServeReport::surrogate; CLI/bench drivers exit non-zero on
+//      drift). Requests are independent, so the worker pool shares nothing
 //      but the read-only PWL tables (pre-warmed before fan-out;
 //      PwlLibrary::get is additionally mutex-guarded).
 //
@@ -40,6 +48,7 @@
 #include "core/vector_unit.hpp"
 #include "hwmodel/vector_unit_cost.hpp"
 #include "serve/request.hpp"
+#include "serve/surrogate.hpp"
 #include "sim/stats.hpp"
 
 namespace nova::serve {
@@ -64,6 +73,19 @@ struct ServeConfig {
   /// request; the remainder of the stream extrapolates at the measured
   /// steady-state rate.
   int sim_elements_cap = 8192;
+  /// How distinct request shapes are priced (see surrogate.hpp): exact
+  /// cycle-accurate runs per shape, surrogate interpolation anchored by a
+  /// few such runs, or hybrid (surrogate + sampled exact reconciliation).
+  PricingMode pricing = PricingMode::kExact;
+  /// Max cycle-accurate anchor runs per pricing class in surrogate/hybrid
+  /// mode; classes with at most this many distinct lengths are anchored
+  /// exactly (no interpolation at all).
+  int surrogate_anchors = 8;
+  /// Relative service-cycle tolerance hybrid reconciliation enforces.
+  double surrogate_tol = 0.02;
+  /// Distinct shapes hybrid mode re-prices exactly, spread evenly over the
+  /// shape-sorted distinct set (deterministic; capped by the set size).
+  int hybrid_samples = 24;
 };
 
 /// Where and when one request was served.
@@ -106,6 +128,9 @@ struct ServeReport {
   /// Aggregates; latency percentiles live in the "serve.latency_us"
   /// histogram, batch sizes in "serve.batch_size".
   sim::StatRegistry stats;
+  /// How pricing ran: mode, anchor spend, and (hybrid) the reconciliation
+  /// samples with their max relative error.
+  SurrogateAudit surrogate;
   /// First arrival to last completion.
   double makespan_us = 0.0;
   double throughput_rps = 0.0;
@@ -118,15 +143,19 @@ class BatchScheduler {
  public:
   explicit BatchScheduler(const ServeConfig& config);
 
-  /// Serves `requests` (must be sorted by arrival_us, ids 0..n-1 -- the
-  /// generators guarantee this). Identical inputs give identical reports
-  /// for every config.threads value.
+  /// Serves `requests`. The stream contract -- sorted by arrival_us, ids
+  /// 0..n-1, finite arrivals, coherent phase/kv_len -- is validated
+  /// eagerly in every build type; a hand-built vector violating it aborts
+  /// with a message naming the offending request instead of dispatching in
+  /// a silently wrong order. Identical inputs give identical reports for
+  /// every config.threads value, in every pricing mode.
   [[nodiscard]] ServeReport run(
       const std::vector<InferenceRequest>& requests) const;
 
  private:
   void price_requests(const std::vector<InferenceRequest>& requests,
-                      std::vector<RequestOutcome>& outcomes) const;
+                      std::vector<RequestOutcome>& outcomes,
+                      SurrogateAudit& audit) const;
 
   ServeConfig config_;
 };

@@ -9,6 +9,7 @@
 
 #include "approx/fit.hpp"
 #include "approx/functions.hpp"
+#include "approx/interp.hpp"
 #include "approx/mlp_fitter.hpp"
 #include "approx/softmax.hpp"
 #include "common/rng.hpp"
@@ -265,6 +266,55 @@ TEST(Functions, FromStringRoundTripsEveryFunction) {
   EXPECT_FALSE(from_string("GELU").has_value());  // names are lower-case
 }
 
+TEST(InterpCurve, ReproducesAnchorsExactlyAndChordsBetween) {
+  const auto curve =
+      InterpCurve::fit({1.0, 10.0, 100.0}, {5.0, 50.0, 70.0});
+  // Nodal evaluation is bit-exact -- the surrogate's anchored-exactly
+  // guarantee rests on this, not on "close enough".
+  EXPECT_DOUBLE_EQ(curve.eval(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(curve.eval(10.0), 50.0);
+  EXPECT_DOUBLE_EQ(curve.eval(100.0), 70.0);
+  // Chord interpolation between anchors.
+  EXPECT_DOUBLE_EQ(curve.eval(5.5), 27.5);
+  EXPECT_DOUBLE_EQ(curve.eval(55.0), 60.0);
+  EXPECT_EQ(curve.anchors(), 3);
+}
+
+TEST(InterpCurve, ClampsOutsideTheMeasuredRange) {
+  const auto curve = InterpCurve::fit({8.0, 64.0}, {3.0, 11.0});
+  EXPECT_DOUBLE_EQ(curve.eval(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve.eval(1e9), 11.0);
+}
+
+TEST(InterpCurve, MonotoneFitClampsNoiseButPlainFitDoesNot) {
+  // A small downward wobble in measured ys: fit_monotone irons it flat,
+  // fit preserves it (calibration rates carry no monotonicity contract).
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {10.0, 9.5, 12.0};
+  const auto monotone = InterpCurve::fit_monotone(xs, ys);
+  EXPECT_DOUBLE_EQ(monotone.eval(2.0), 10.0);
+  for (double x = 1.0; x <= 3.0; x += 0.125) {
+    EXPECT_GE(monotone.eval(x + 0.125), monotone.eval(x));
+  }
+  const auto plain = InterpCurve::fit(xs, ys);
+  EXPECT_DOUBLE_EQ(plain.eval(2.0), 9.5);
+}
+
+TEST(InterpCurve, SingleAnchorYieldsAConstantCurve) {
+  const auto curve = InterpCurve::fit({42.0}, {7.0});
+  EXPECT_DOUBLE_EQ(curve.eval(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(curve.eval(42.0), 7.0);
+  EXPECT_DOUBLE_EQ(curve.eval(1e6), 7.0);
+}
+
+TEST(InterpCurveDeathTest, RejectsUnsortedOrMismatchedAnchors) {
+  EXPECT_DEATH((void)InterpCurve::fit({2.0, 1.0}, {0.0, 1.0}),
+               "precondition");
+  EXPECT_DEATH((void)InterpCurve::fit({1.0, 1.0}, {0.0, 1.0}),
+               "precondition");
+  EXPECT_DEATH((void)InterpCurve::fit({1.0}, {0.0, 1.0}), "precondition");
+  EXPECT_DEATH((void)InterpCurve::fit({}, {}), "precondition");
+}
 
 }  // namespace
 }  // namespace nova::approx

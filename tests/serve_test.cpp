@@ -2,6 +2,7 @@
 // BatchScheduler's determinism / queueing / batching behaviour.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <sstream>
 
@@ -9,6 +10,7 @@
 #include "core/overlay.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/surrogate.hpp"
 #include "workload/bert.hpp"
 
 namespace nova::serve {
@@ -492,6 +494,207 @@ TEST(BatchScheduler, EmptyStreamYieldsEmptyReport) {
       BatchScheduler(small_pool(2, 2)).run(std::vector<InferenceRequest>{});
   EXPECT_TRUE(report.outcomes.empty());
   EXPECT_DOUBLE_EQ(report.throughput_rps, 0.0);
+}
+
+/// A decode-heavy stream with one distinct kv_len per request -- more
+/// distinct lengths per class than the surrogate keeps anchors, so
+/// interpolation genuinely runs.
+std::vector<InferenceRequest> interpolating_stream(int count) {
+  std::vector<InferenceRequest> requests(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto& req = requests[static_cast<std::size_t>(i)];
+    req.id = i;
+    req.arrival_us = 2.0 * i;
+    req.phase = pipeline::Phase::kDecode;
+    req.seq_len = 1;
+    req.kv_len = 1 + 7 * i;
+    req.function = (i % 2 == 0) ? approx::NonLinearFn::kGelu
+                                : approx::NonLinearFn::kExp;
+  }
+  return requests;
+}
+
+TEST(PricingSurrogate, OutcomesIdenticalAcrossThreadCounts) {
+  const auto requests = interpolating_stream(48);
+  auto config = small_pool(2, 1);
+  config.pricing = PricingMode::kSurrogate;
+  const auto one = BatchScheduler(config).run(requests);
+  config.threads = 2;
+  const auto two = BatchScheduler(config).run(requests);
+  config.threads = 8;
+  const auto eight = BatchScheduler(config).run(requests);
+  ASSERT_EQ(one.outcomes.size(), requests.size());
+  for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+    for (const auto* other : {&two, &eight}) {
+      const auto& a = one.outcomes[i];
+      const auto& b = other->outcomes[i];
+      EXPECT_EQ(a.approx_ops, b.approx_ops);
+      EXPECT_EQ(a.service_cycles, b.service_cycles);
+      EXPECT_EQ(a.wave_latency_cycles, b.wave_latency_cycles);
+      EXPECT_EQ(a.instance, b.instance);
+      EXPECT_EQ(a.batch_id, b.batch_id);
+      EXPECT_DOUBLE_EQ(a.service_us, b.service_us);
+      EXPECT_DOUBLE_EQ(a.start_us, b.start_us);
+      EXPECT_DOUBLE_EQ(a.finish_us, b.finish_us);
+    }
+  }
+  EXPECT_DOUBLE_EQ(one.makespan_us, eight.makespan_us);
+}
+
+TEST(PricingSurrogate, BitEqualToExactWhenEveryLengthIsAnAnchor) {
+  // Classes with at most surrogate_anchors distinct lengths are anchored
+  // exactly; the surrogate must then reproduce the exact path bit for bit
+  // (same shape_seed, same calibration, same graph walk).
+  std::vector<InferenceRequest> requests;
+  int id = 0;
+  for (const int kv : {16, 64, 256}) {
+    InferenceRequest req;
+    req.id = id;
+    req.arrival_us = 3.0 * id++;
+    req.phase = pipeline::Phase::kDecode;
+    req.seq_len = 1;
+    req.kv_len = kv;
+    requests.push_back(req);
+  }
+  for (const int seq : {64, 128}) {
+    InferenceRequest req;
+    req.id = id;
+    req.arrival_us = 3.0 * id++;
+    req.seq_len = seq;
+    requests.push_back(req);
+  }
+
+  auto config = small_pool(1, 2);
+  const auto exact = BatchScheduler(config).run(requests);
+  config.pricing = PricingMode::kSurrogate;
+  const auto surrogate = BatchScheduler(config).run(requests);
+  ASSERT_EQ(exact.outcomes.size(), surrogate.outcomes.size());
+  for (std::size_t i = 0; i < exact.outcomes.size(); ++i) {
+    const auto& a = exact.outcomes[i];
+    const auto& b = surrogate.outcomes[i];
+    EXPECT_EQ(a.approx_ops, b.approx_ops);
+    EXPECT_EQ(a.service_cycles, b.service_cycles);
+    EXPECT_EQ(a.wave_latency_cycles, b.wave_latency_cycles);
+    EXPECT_DOUBLE_EQ(a.service_us, b.service_us);
+    EXPECT_DOUBLE_EQ(a.finish_us, b.finish_us);
+  }
+  for (const auto& curve : surrogate.surrogate.samples) {
+    EXPECT_DOUBLE_EQ(curve.rel_error, 0.0);
+  }
+}
+
+TEST(PricingSurrogate, InterpolatedPricingStaysNearExact) {
+  const auto requests = interpolating_stream(48);
+  auto config = small_pool(2, 2);
+  const auto exact = BatchScheduler(config).run(requests);
+  config.pricing = PricingMode::kSurrogate;
+  const auto surrogate = BatchScheduler(config).run(requests);
+  ASSERT_GT(exact.surrogate.distinct_shapes,
+            surrogate.surrogate.anchors_priced);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto e =
+        static_cast<double>(exact.outcomes[i].service_cycles);
+    const auto s =
+        static_cast<double>(surrogate.outcomes[i].service_cycles);
+    EXPECT_LE(std::abs(s - e) / std::max(e, 1.0), 0.02)
+        << "kv_len " << requests[i].kv_len;
+    // approx_ops comes from the shape's own graph, never interpolation.
+    EXPECT_EQ(exact.outcomes[i].approx_ops, surrogate.outcomes[i].approx_ops);
+  }
+}
+
+TEST(PricingSurrogate, HybridReconcilesAndKeepsSurrogateOutcomes) {
+  const auto requests = interpolating_stream(40);
+  auto config = small_pool(2, 2);
+  config.pricing = PricingMode::kSurrogate;
+  const auto surrogate = BatchScheduler(config).run(requests);
+  config.pricing = PricingMode::kHybrid;
+  const auto hybrid = BatchScheduler(config).run(requests);
+
+  // Hybrid outcomes ARE the surrogate outcomes (exact re-pricing is an
+  // audit, never a substitution -- that's what keeps the mode
+  // thread-count-deterministic).
+  ASSERT_EQ(hybrid.outcomes.size(), surrogate.outcomes.size());
+  for (std::size_t i = 0; i < hybrid.outcomes.size(); ++i) {
+    EXPECT_EQ(hybrid.outcomes[i].service_cycles,
+              surrogate.outcomes[i].service_cycles);
+    EXPECT_DOUBLE_EQ(hybrid.outcomes[i].finish_us,
+                     surrogate.outcomes[i].finish_us);
+  }
+
+  const auto& audit = hybrid.surrogate;
+  EXPECT_EQ(audit.mode, PricingMode::kHybrid);
+  ASSERT_FALSE(audit.samples.empty());
+  EXPECT_TRUE(audit.within_tolerance);
+  EXPECT_LE(audit.max_rel_error, audit.tolerance);
+  for (const auto& sample : audit.samples) {
+    EXPECT_GT(sample.exact_cycles, 0.0);
+    EXPECT_GE(sample.rel_error, 0.0);
+  }
+  // Exact mode reports a pass-through audit: no samples, tolerance holds.
+  const auto exact = BatchScheduler(small_pool(2, 2)).run(requests);
+  EXPECT_EQ(exact.surrogate.mode, PricingMode::kExact);
+  EXPECT_TRUE(exact.surrogate.samples.empty());
+  EXPECT_TRUE(exact.surrogate.within_tolerance);
+}
+
+TEST(PricingSurrogate, ModeNamesRoundTrip) {
+  for (const auto mode : {PricingMode::kExact, PricingMode::kSurrogate,
+                          PricingMode::kHybrid}) {
+    const auto parsed = pricing_mode_from_string(to_string(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(pricing_mode_from_string("approximate").has_value());
+  EXPECT_FALSE(pricing_mode_from_string("").has_value());
+}
+
+TEST(BatchSchedulerDeathTest, RejectsUnsortedArrivals) {
+  std::vector<InferenceRequest> requests(2);
+  requests[0].id = 0;
+  requests[0].arrival_us = 5.0;
+  requests[1].id = 1;
+  requests[1].arrival_us = 1.0;  // earlier than its predecessor
+  const BatchScheduler scheduler(small_pool(1, 1));
+  EXPECT_DEATH((void)scheduler.run(requests), "sorted by arrival_us");
+}
+
+TEST(BatchSchedulerDeathTest, RejectsMisnumberedIds) {
+  std::vector<InferenceRequest> requests(2);
+  requests[0].id = 0;
+  requests[1].id = 7;  // must be 1
+  requests[1].arrival_us = 1.0;
+  const BatchScheduler scheduler(small_pool(1, 1));
+  EXPECT_DEATH((void)scheduler.run(requests), "ids must be 0..n-1");
+}
+
+TEST(BatchSchedulerDeathTest, RejectsIncoherentPhaseShapes) {
+  const BatchScheduler scheduler(small_pool(1, 1));
+  {
+    std::vector<InferenceRequest> requests(1);
+    requests[0].phase = pipeline::Phase::kPrefill;
+    requests[0].kv_len = 64;  // prefill must not carry a cache
+    EXPECT_DEATH((void)scheduler.run(requests), "prefill requests");
+  }
+  {
+    std::vector<InferenceRequest> requests(1);
+    requests[0].phase = pipeline::Phase::kDecode;
+    requests[0].kv_len = 0;  // decode needs one
+    EXPECT_DEATH((void)scheduler.run(requests), "decode requests");
+  }
+  {
+    std::vector<InferenceRequest> requests(1);
+    requests[0].arrival_us = -1.0;
+    EXPECT_DEATH((void)scheduler.run(requests), "finite");
+  }
+}
+
+TEST(RequestGeneratorDeathTest, RejectsNonPositiveRate) {
+  TrafficProfile profile;
+  profile.rate_rps = -100.0;
+  EXPECT_DEATH((void)generate_poisson(4, profile, 1), "precondition");
+  profile.rate_rps = 0.0;
+  EXPECT_DEATH((void)generate_poisson(4, profile, 1), "precondition");
 }
 
 }  // namespace
