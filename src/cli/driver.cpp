@@ -446,6 +446,7 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
     // --decode narrows the stream to pure decode traffic; the default mix
     // interleaves prefill and decode request classes.
     if (options.decode) profile.decode_fraction = 1.0;
+    profile.deadline_us = options.deadline_us;
     // An explicit --workload / --function narrows the generated mix;
     // "bert"/"all" asks for the full five-benchmark stream.
     if (options.workload_set) {
@@ -476,9 +477,43 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
   serve_cfg.pricing = *pricing;
   serve_cfg.surrogate_anchors = options.surrogate_anchors;
   serve_cfg.surrogate_tol = options.surrogate_tol;
+  serve_cfg.policy.max_retries = options.max_retries;
+  serve_cfg.policy.overload_queue_us = options.shed_us;
+  if (options.faults) {
+    serve::FaultProfile fault_profile;
+    fault_profile.mtbf_us = options.mtbf_us;
+    fault_profile.mttr_us = options.mttr_us;
+    // Cover the run comfortably: the stream's arrival span doubled, plus a
+    // few fail/recover cycles of slack for the backlog drain at the tail.
+    const double last_arrival =
+        requests.empty() ? 0.0 : requests.back().arrival_us;
+    const double horizon_us = 2.0 * last_arrival +
+                              4.0 * (options.mtbf_us + options.mttr_us);
+    serve_cfg.faults = serve::draw_fault_plan(
+        fault_profile, options.instances, horizon_us, options.seed);
+  }
 
   const serve::BatchScheduler scheduler(serve_cfg);
   const auto report = scheduler.run(requests);
+
+  if (!serve_cfg.faults.empty()) {
+    Table timeline("Fault timeline: seeded exponential plan, MTBF " +
+                   Table::num(options.mtbf_us, 0) + " us, MTTR " +
+                   Table::num(options.mttr_us, 0) + " us");
+    timeline.set_header(
+        {"instance", "window", "kind", "start ms", "end ms", "slowdown"});
+    for (int i = 0; i < options.instances; ++i) {
+      const auto& windows = serve_cfg.faults.windows(i);
+      for (std::size_t w = 0; w < windows.size(); ++w) {
+        timeline.add_row({std::to_string(i), std::to_string(w),
+                          serve::to_string(windows[w].kind),
+                          Table::num(windows[w].start_us / 1e3, 3),
+                          Table::num(windows[w].end_us / 1e3, 3),
+                          Table::num(windows[w].slowdown, 2)});
+      }
+    }
+    emit(timeline, options.csv);
+  }
 
   Table summary("Serving: " + std::to_string(requests.size()) +
                 " requests on " + std::to_string(options.instances) +
@@ -502,6 +537,19 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
   summary.add_row({"makespan (ms)", Table::num(report.makespan_us / 1e3, 3)});
   summary.add_row(
       {"throughput (req/s)", Table::num(report.throughput_rps, 1)});
+  summary.add_row({"goodput (req/s)", Table::num(report.goodput_rps, 1)});
+  for (int s = 0; s < serve::kRequestStatusCount; ++s) {
+    const auto status = static_cast<serve::RequestStatus>(s);
+    summary.add_row({std::string(serve::to_string(status)) + " requests",
+                     std::to_string(report.status_count(status))});
+  }
+  summary.add_row(
+      {"retries", std::to_string(report.stats.counter("serve.retries"))});
+  const auto* backoff = report.stats.find_histogram("serve.backoff_us");
+  if (backoff != nullptr && backoff->count() > 0) {
+    summary.add_row({"mean backoff (us)", Table::num(backoff->mean(), 3)});
+    summary.add_row({"max backoff (us)", Table::num(backoff->max(), 3)});
+  }
   summary.add_row({"mean service (us)",
                    Table::num(report.stats.mean("serve.service_us"), 3)});
   summary.add_row({"mean queue wait (us)",
@@ -518,9 +566,10 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
        Table::num(latency == nullptr ? 0.0 : latency->max(), 3)});
   emit(summary, options.csv);
 
-  Table per_instance("Per-instance utilization");
-  per_instance.set_header(
-      {"instance", "requests", "batches", "busy ms", "utilization %"});
+  Table per_instance("Per-instance utilization and availability");
+  per_instance.set_header({"instance", "requests", "batches", "failed",
+                           "busy ms", "utilization %", "down ms",
+                           "availability %"});
   for (std::size_t i = 0; i < report.instances.size(); ++i) {
     const auto& inst = report.instances[i];
     const double util = report.makespan_us > 0.0
@@ -528,8 +577,11 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
                             : 0.0;
     per_instance.add_row({std::to_string(i), std::to_string(inst.requests),
                           std::to_string(inst.batches),
+                          std::to_string(inst.failed_batches),
                           Table::num(inst.busy_us / 1e3, 3),
-                          Table::num(util, 2)});
+                          Table::num(util, 2),
+                          Table::num(inst.down_us / 1e3, 3),
+                          Table::num(100.0 * inst.availability, 2)});
   }
   emit(per_instance, options.csv);
 
@@ -544,7 +596,9 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
     std::uint64_t ops = 0;
     double service = 0.0, latency = 0.0, max_latency = 0.0;
     for (const auto& outcome : report.outcomes) {
-      if (outcome.request.phase != phase) continue;
+      // Shed/failed outcomes never finished; their zeroed service fields
+      // and negative pseudo-latencies would poison the class means.
+      if (outcome.request.phase != phase || !outcome.served()) continue;
       ++count;
       ops += static_cast<std::uint64_t>(outcome.approx_ops);
       service += outcome.service_us;

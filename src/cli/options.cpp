@@ -169,12 +169,35 @@ std::string usage() {
       "  --surrogate-tol X  hybrid reconciliation tolerance, relative\n"
       "                     service-cycle error        (default: 0.02)\n"
       "\n"
+      "Failure-aware serving (each flag implies --serve):\n"
+      "  --faults           inject a seeded exponential fault plan: each\n"
+      "                     instance alternates exp(MTBF) up-time and\n"
+      "                     exp(MTTR) outages, drawn per instance from\n"
+      "                     --seed; prints the fault timeline table\n"
+      "  --mtbf US          mean time between failures (default: 20000;\n"
+      "                     implies --faults)\n"
+      "  --mttr US          mean time to recover       (default: 2000;\n"
+      "                     implies --faults)\n"
+      "  --deadline US      SLO budget stamped on generated requests,\n"
+      "                     relative to arrival; hopeless requests shed at\n"
+      "                     admission, late ones count as deadline-miss\n"
+      "                     (default: 0 = best-effort; trace files carry\n"
+      "                     their own trailing deadline_us column)\n"
+      "  --max-retries N    retry budget for batches killed mid-service by\n"
+      "                     an outage, with capped exponential backoff and\n"
+      "                     deterministic jitter       (default: 3)\n"
+      "  --shed US          overload threshold on projected queue wait:\n"
+      "                     past it the batch cap shrinks toward latency,\n"
+      "                     and best-effort work sheds at 4x the threshold\n"
+      "                     (default: 0 = disabled)\n"
+      "\n"
       "Examples:\n"
       "  nova_sim --workload bert --seq 128\n"
       "  nova_sim --workload bert-tiny --decode --kv-len 1024\n"
       "  nova_sim --workload mobilebert-base --seq 1024 --host tpuv3\n"
       "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n"
-      "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n";
+      "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n"
+      "  nova_sim --serve --faults --mtbf 5000 --mttr 1000 --deadline 2000\n";
   return text;
 }
 
@@ -284,6 +307,36 @@ bool parse_options(int argc, const char* const* argv, Options& options,
           !parse_double(flag, value, 1e-6, 1.0, options.surrogate_tol,
                         error))
         return false;
+    } else if (flag == "--faults") {
+      options.faults = true;
+      options.serve = true;
+    } else if (flag == "--mtbf") {
+      if (!next(value) ||
+          !parse_double(flag, value, 1.0, 1e12, options.mtbf_us, error))
+        return false;
+      options.faults = true;
+      options.serve = true;
+    } else if (flag == "--mttr") {
+      if (!next(value) ||
+          !parse_double(flag, value, 1.0, 1e12, options.mttr_us, error))
+        return false;
+      options.faults = true;
+      options.serve = true;
+    } else if (flag == "--deadline") {
+      if (!next(value) ||
+          !parse_double(flag, value, 0.0, 1e12, options.deadline_us, error))
+        return false;
+      options.serve = true;
+    } else if (flag == "--max-retries") {
+      if (!next(value) ||
+          !parse_int(flag, value, 0, 64, options.max_retries, error))
+        return false;
+      options.serve = true;
+    } else if (flag == "--shed") {
+      if (!next(value) ||
+          !parse_double(flag, value, 0.0, 1e12, options.shed_us, error))
+        return false;
+      options.serve = true;
     } else {
       error = "unknown flag '" + flag + "'";
       return false;

@@ -1,0 +1,100 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace nova::serve {
+
+namespace {
+
+[[noreturn]] void fail_policy(const char* what) {
+  std::fprintf(stderr,
+               "nova: FailurePolicy precondition violation: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRetried:
+      return "retried";
+    case RequestStatus::kShed:
+      return "shed";
+    case RequestStatus::kDeadlineMiss:
+      return "deadline-miss";
+    case RequestStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+void validate(const FailurePolicy& policy) {
+  if (policy.max_retries < 0) fail_policy("max_retries must be >= 0");
+  if (!std::isfinite(policy.backoff_base_us) ||
+      policy.backoff_base_us <= 0.0) {
+    fail_policy("backoff_base_us must be finite and > 0");
+  }
+  if (!std::isfinite(policy.backoff_cap_us) ||
+      policy.backoff_cap_us < policy.backoff_base_us) {
+    fail_policy("backoff_cap_us must be finite and >= backoff_base_us");
+  }
+  if (!(policy.backoff_jitter >= 0.0 && policy.backoff_jitter <= 1.0)) {
+    fail_policy("backoff_jitter must be in [0, 1]");
+  }
+  if (!std::isfinite(policy.overload_queue_us) ||
+      policy.overload_queue_us < 0.0) {
+    fail_policy("overload_queue_us must be finite and >= 0");
+  }
+  if (policy.overload_shed_factor < 1.0) {
+    fail_policy("overload_shed_factor must be >= 1");
+  }
+}
+
+double retry_backoff_us(const FailurePolicy& policy, int attempt,
+                        int request_id, std::uint64_t seed) {
+  // Capped exponential: base * 2^(attempt-1), saturating instead of
+  // overflowing for absurd attempt counts.
+  double backoff = policy.backoff_base_us;
+  for (int i = 1; i < attempt && backoff < policy.backoff_cap_us; ++i) {
+    backoff *= 2.0;
+  }
+  backoff = std::min(backoff, policy.backoff_cap_us);
+  // Deterministic jitter keyed by (seed, request, attempt): the same
+  // retry always waits the same amount, but distinct requests spread out
+  // instead of stampeding a recovering instance in lockstep.
+  Rng rng(seed ^
+          (0xD1B54A32D192ED03ULL * (static_cast<std::uint64_t>(
+                                        static_cast<unsigned>(request_id)) +
+                                    1)) ^
+          (0x9E3779B97F4A7C15ULL *
+           (static_cast<std::uint64_t>(static_cast<unsigned>(attempt)) + 1)));
+  return backoff * (1.0 + policy.backoff_jitter * rng.next_double());
+}
+
+int degraded_max_batch(const FailurePolicy& policy, int max_batch,
+                       double projected_wait_us) {
+  if (policy.overload_queue_us <= 0.0 ||
+      projected_wait_us <= policy.overload_queue_us) {
+    return max_batch;
+  }
+  const double scale = policy.overload_queue_us / projected_wait_us;
+  return std::max(1, static_cast<int>(max_batch * scale));
+}
+
+bool should_shed_overload(const FailurePolicy& policy,
+                          double projected_wait_us, bool has_deadline,
+                          int attempt) {
+  if (policy.overload_queue_us <= 0.0) return false;
+  if (has_deadline || attempt > 1) return false;
+  return projected_wait_us >
+         policy.overload_shed_factor * policy.overload_queue_us;
+}
+
+}  // namespace nova::serve

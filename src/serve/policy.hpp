@@ -1,0 +1,103 @@
+// Failure-handling policy for the serving layer: the request status
+// taxonomy, retry/backoff schedule, deadline shedding, and graceful
+// overload degradation the BatchScheduler's dispatch loop applies.
+//
+// Everything here is a pure function of (policy, request identity,
+// attempt) -- no wall clock, no shared state -- so dispatch decisions are
+// byte-identical across worker-thread counts by construction. The jitter
+// folded into each backoff delay is deterministic: it comes from an RNG
+// stream keyed by (seed, request id, attempt), not from time or thread
+// interleaving, so two retries of the same request always back off by the
+// same amount while distinct requests still de-synchronize (no retry
+// stampede against a recovering instance).
+#pragma once
+
+#include <cstdint>
+
+namespace nova::serve {
+
+/// Terminal status of one request after dispatch (RequestOutcome::status).
+enum class RequestStatus {
+  /// Served on the first attempt, inside its deadline (or with none).
+  kOk,
+  /// Served inside its deadline, but only after at least one mid-service
+  /// instance failure forced a retry.
+  kRetried,
+  /// Never serviced: dropped at admission by the deadline or overload
+  /// policy. Shed outcomes keep service_cycles/finish_us at zero.
+  kShed,
+  /// Served to completion, but finished past arrival + deadline_us.
+  kDeadlineMiss,
+  /// Never completed: every allowed attempt died in a fault window.
+  /// Failed outcomes keep service_cycles/finish_us at zero.
+  kFailed,
+};
+
+[[nodiscard]] const char* to_string(RequestStatus status);
+
+/// Number of distinct RequestStatus values (report arrays index by it).
+inline constexpr int kRequestStatusCount = 5;
+
+/// How dispatch reacts to faults, deadlines, and overload. The defaults
+/// retry generously and never shed on queue depth; deadline shedding only
+/// engages for requests that actually carry a deadline.
+struct FailurePolicy {
+  /// Retries after a mid-service failure before a request goes kFailed
+  /// (so a request is attempted at most max_retries + 1 times). >= 0.
+  int max_retries = 3;
+  /// First retry backs off this long; each further retry doubles it. > 0.
+  double backoff_base_us = 50.0;
+  /// Exponential backoff cap (pre-jitter). >= backoff_base_us.
+  double backoff_cap_us = 5000.0;
+  /// Deterministic jitter span as a fraction of the capped backoff: the
+  /// delay drawn is backoff * (1 + u * backoff_jitter), u in [0, 1) keyed
+  /// by (seed, request id, attempt). In [0, 1].
+  double backoff_jitter = 0.25;
+  /// Shed a request at admission when its projected finish (dispatch
+  /// start + its own surrogate-priced standalone service time) already
+  /// misses arrival + deadline_us. Requests without a deadline are never
+  /// deadline-shed.
+  bool shed_on_deadline = true;
+  /// Projected queue-wait threshold (us) past which dispatch degrades
+  /// gracefully: the effective max batch shrinks proportionally toward 1,
+  /// trading fused throughput for latency. 0 disables the overload policy
+  /// entirely (no degradation, no overload shedding).
+  double overload_queue_us = 0.0;
+  /// Multiple of overload_queue_us past which best-effort work (requests
+  /// carrying no deadline -- the lowest priority class) is shed outright
+  /// on its first attempt. >= 1.
+  double overload_shed_factor = 4.0;
+};
+
+/// Aborts (precondition style, active in every build) on out-of-range
+/// policy fields; called by the scheduler constructor.
+void validate(const FailurePolicy& policy);
+
+/// Backoff delay before retry number `attempt` (1 = first retry) of
+/// request `request_id`: capped exponential plus deterministic jitter
+/// (see FailurePolicy::backoff_jitter). Pure; > 0.
+[[nodiscard]] double retry_backoff_us(const FailurePolicy& policy,
+                                      int attempt, int request_id,
+                                      std::uint64_t seed);
+
+/// The graceful-degradation half of the overload policy: the batch cap
+/// dispatch may fuse under a projected queue wait of `projected_wait_us`.
+/// At or below the threshold the configured max_batch stands; past it the
+/// cap shrinks proportionally (threshold / wait) toward 1, so a pool 4x
+/// over its wait budget fuses quarter-size batches -- smaller dispatches
+/// finish sooner and cut the wait of everything behind them before any
+/// request is dropped. Returns max_batch when the policy is disabled.
+[[nodiscard]] int degraded_max_batch(const FailurePolicy& policy,
+                                     int max_batch,
+                                     double projected_wait_us);
+
+/// The shedding half of the overload policy: true when a first-attempt,
+/// deadline-free request facing `projected_wait_us` of queue wait should
+/// be dropped (wait past overload_shed_factor * overload_queue_us).
+/// Deadline-carrying work is never overload-shed (it has its own policy),
+/// and retries are never overload-shed (they already paid for service).
+[[nodiscard]] bool should_shed_overload(const FailurePolicy& policy,
+                                        double projected_wait_us,
+                                        bool has_deadline, int attempt);
+
+}  // namespace nova::serve

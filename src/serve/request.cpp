@@ -33,6 +33,8 @@ std::vector<InferenceRequest> generate_poisson(int count,
   NOVA_EXPECTS(profile.decode_fraction >= 0.0 &&
                profile.decode_fraction <= 1.0);
   NOVA_EXPECTS(profile.base_kv_len >= 1);
+  NOVA_EXPECTS(std::isfinite(profile.deadline_us) &&
+               profile.deadline_us >= 0.0);
   NOVA_EXPECTS(!profile.workloads.empty());
   NOVA_EXPECTS(!profile.functions.empty());
 
@@ -69,6 +71,7 @@ std::vector<InferenceRequest> generate_poisson(int count,
           1, static_cast<int>(std::lround(profile.base_kv_len * kv_scale)));
       req.seq_len = 1;  // one query token; volume scales with kv_len
     }
+    req.deadline_us = profile.deadline_us;
     requests.push_back(req);
   }
   return requests;
@@ -85,7 +88,8 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
     if (first == std::string::npos || line[first] == '#') continue;
 
     // Split on ',' into stripped fields: 5 mandatory columns plus the
-    // optional phase and kv_len columns of mixed prefill/decode traces.
+    // optional phase and kv_len columns of mixed prefill/decode traces
+    // and the optional trailing deadline_us column of SLO-carrying ones.
     const auto strip = [](std::string& s) {
       const auto b = s.find_first_not_of(" \t\r");
       const auto e = s.find_last_not_of(" \t\r");
@@ -98,10 +102,10 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
       strip(field);
       fields.push_back(field);
     }
-    if (fields.size() < 5 || fields.size() > 7) {
+    if (fields.size() < 5 || fields.size() > 8) {
       error = "trace line " + std::to_string(line_no) +
               ": expected 'arrival_us,workload,function,seq_len,"
-              "breakpoints[,phase[,kv_len]]'";
+              "breakpoints[,phase[,kv_len[,deadline_us]]]'";
       return false;
     }
 
@@ -136,7 +140,12 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
       }
       req.phase = *phase;
     }
-    if (fields.size() == 7 && !parse_full(fields[6], req.kv_len)) {
+    if (fields.size() >= 7 && !parse_full(fields[6], req.kv_len)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": malformed number in '" + line + "'";
+      return false;
+    }
+    if (fields.size() == 8 && !parse_full(fields[7], req.deadline_us)) {
       error = "trace line " + std::to_string(line_no) +
               ": malformed number in '" + line + "'";
       return false;
@@ -159,6 +168,13 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
     if (req.phase == pipeline::Phase::kPrefill && req.kv_len != 0) {
       error = "trace line " + std::to_string(line_no) +
               ": prefill requests must not carry a non-zero kv_len";
+      return false;
+    }
+    // A NaN/inf/negative deadline cannot be compared against a projected
+    // finish; reject it here the same way incoherent phases are.
+    if (!std::isfinite(req.deadline_us) || req.deadline_us < 0.0) {
+      error = "trace line " + std::to_string(line_no) +
+              ": deadline_us must be finite and >= 0 (0 = no deadline)";
       return false;
     }
     out.push_back(req);

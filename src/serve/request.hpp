@@ -44,6 +44,13 @@ struct InferenceRequest {
   pipeline::Phase phase = pipeline::Phase::kPrefill;
   /// KV-cache length of a decode request (>= 1); prefill keeps 0.
   int kv_len = 0;
+  /// Optional SLO: the latency budget in microseconds relative to
+  /// arrival_us (the request's deadline is arrival_us + deadline_us).
+  /// 0 means no deadline -- best-effort work, the first to be shed under
+  /// overload. Must be finite and >= 0.
+  double deadline_us = 0.0;
+
+  [[nodiscard]] bool has_deadline() const { return deadline_us > 0.0; }
 };
 
 /// Shape of the synthetic open-loop traffic the Poisson generator emits.
@@ -65,6 +72,10 @@ struct TrafficProfile {
   /// from the same scale table as sequence lengths (clamped to >= 1) to
   /// model caches at different depths of generation.
   int base_kv_len = 512;
+  /// Latency budget stamped on every generated request (see
+  /// InferenceRequest::deadline_us); 0 generates best-effort traffic with
+  /// no deadlines, reproducing the pre-deadline stream bit for bit.
+  double deadline_us = 0.0;
   /// Workload mix, sampled uniformly. Empty profiles are invalid.
   std::vector<std::string> workloads = {"bert-tiny", "bert-mini",
                                         "mobilebert-tiny"};
@@ -81,12 +92,14 @@ struct TrafficProfile {
     int count, const TrafficProfile& profile, std::uint64_t seed);
 
 /// Parses a request trace: one request per line,
-/// `arrival_us,workload,function,seq_len,breakpoints[,phase[,kv_len]]`,
-/// with `#` comments and blank lines ignored. `phase` is "prefill"
-/// (default) or "decode"; decode lines must carry kv_len >= 1, prefill
-/// lines may only carry kv_len 0. Returns false and fills `error` on
-/// malformed input. Requests are re-sorted by arrival time and re-numbered
-/// in that order.
+/// `arrival_us,workload,function,seq_len,breakpoints[,phase[,kv_len
+/// [,deadline_us]]]`, with `#` comments and blank lines ignored. `phase`
+/// is "prefill" (default) or "decode"; decode lines must carry kv_len
+/// >= 1, prefill lines may only carry kv_len 0. The optional trailing
+/// deadline_us column is the request's SLO budget relative to arrival
+/// (finite, >= 0; 0 or absent means best-effort). Returns false and fills
+/// `error` on malformed input. Requests are re-sorted by arrival time and
+/// re-numbered in that order.
 [[nodiscard]] bool parse_trace(std::istream& in,
                                std::vector<InferenceRequest>& out,
                                std::string& error);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 
 #include "accel/accelerator.hpp"
 #include "approx/mlp_fitter.hpp"
@@ -49,8 +50,26 @@ void validate_stream(const std::vector<InferenceRequest>& requests) {
     if (req.phase == pipeline::Phase::kPrefill && req.kv_len != 0) {
       fail("prefill requests must not carry a non-zero kv_len");
     }
+    if (!std::isfinite(req.deadline_us) || req.deadline_us < 0.0) {
+      fail("deadline_us must be finite and >= 0 (0 = no deadline)");
+    }
   }
 }
+
+/// One queued dispatch attempt: a request waiting to be (re)dispatched.
+/// Ordered by (ready time, id) so the initial queue replays arrival order
+/// exactly and retries merge back deterministically.
+struct Pending {
+  double ready_us = 0.0;
+  int id = 0;
+  /// 1-based attempt number this entry represents.
+  int attempt = 1;
+
+  friend bool operator<(const Pending& a, const Pending& b) {
+    if (a.ready_us != b.ready_us) return a.ready_us < b.ready_us;
+    return a.id < b.id;
+  }
+};
 
 }  // namespace
 
@@ -74,6 +93,7 @@ BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
   // domains must agree (make_overlay(host).nova pairs them correctly).
   NOVA_EXPECTS(accel::make_accelerator(config.host).freq_mhz ==
                config.nova.accel_freq_mhz);
+  validate(config.policy);
 }
 
 void BatchScheduler::price_requests(
@@ -182,7 +202,11 @@ ServeReport BatchScheduler::run(
   // Phase 1: price every request (exact, surrogate, or hybrid mode).
   price_requests(requests, report.outcomes, report.surrogate);
 
-  // Phase 2: deterministic event-driven dispatch.
+  // Phase 2: deterministic event-driven dispatch. The pending set replays
+  // arrival order exactly until a fault re-queues something; from then on
+  // retries merge back by (ready time, id), still a pure function of the
+  // inputs. With an empty FaultPlan and default FailurePolicy no branch
+  // below fires and the loop is byte-identical to the pre-fault FIFO walk.
   std::vector<double> free_at(static_cast<std::size_t>(config_.instances),
                               0.0);
   auto& latency_hist = report.stats.histogram("serve.latency_us");
@@ -190,61 +214,142 @@ ServeReport BatchScheduler::run(
   const sim::StatId id_batches = report.stats.counter_id("serve.batches");
   const sim::StatId id_requests = report.stats.counter_id("serve.requests");
   const double cycle_us = 1.0 / config_.nova.accel_freq_mhz;
+  const FaultPlan& faults = config_.faults;
+  const FailurePolicy& policy = config_.policy;
 
-  std::size_t queue_head = 0;
+  std::set<Pending> queue;
+  for (const auto& req : requests) {
+    queue.insert(Pending{req.arrival_us, req.id, 1});
+  }
+
   int batch_id = 0;
   double last_finish = 0.0;
-  while (queue_head < requests.size()) {
-    // Earliest-free instance takes the next dispatch (ties: lowest index).
-    std::size_t instance = 0;
-    for (std::size_t j = 1; j < free_at.size(); ++j) {
-      if (free_at[j] < free_at[instance]) instance = j;
-    }
-    const auto& head = requests[queue_head];
-    const double start = std::max(free_at[instance], head.arrival_us);
+  while (!queue.empty()) {
+    const Pending head = *queue.begin();
+    const auto& head_req = requests[static_cast<std::size_t>(head.id)];
+    auto& head_outcome = report.outcomes[static_cast<std::size_t>(head.id)];
 
-    // Fuse the FIFO run of already-arrived requests sharing head's PWL
-    // table AND phase, up to max_batch. Prefill and decode never fuse:
-    // they share no wave shape (a prefill wave streams seq_len-scaled
-    // volumes, a decode wave a single query token's), so a mixed dispatch
-    // could not reuse the broadcast flit train the overlap credit models.
-    std::size_t batch_end = queue_head + 1;
-    while (batch_end < requests.size() &&
-           batch_end - queue_head <
-               static_cast<std::size_t>(config_.max_batch) &&
-           requests[batch_end].arrival_us <= start &&
-           requests[batch_end].function == head.function &&
-           requests[batch_end].breakpoints == head.breakpoints &&
-           requests[batch_end].phase == head.phase) {
-      ++batch_end;
+    // Earliest-available instance takes the next dispatch (ties: lowest
+    // index). Availability is the instance's free time pushed past any
+    // outage window it lands in; with no faults this is plain free_at and
+    // the choice matches the pre-fault argmin exactly.
+    std::size_t instance = 0;
+    double avail = faults.next_up_us(0, free_at[0]);
+    for (std::size_t j = 1; j < free_at.size(); ++j) {
+      const double a = faults.next_up_us(static_cast<int>(j), free_at[j]);
+      if (a < avail) {
+        instance = j;
+        avail = a;
+      }
     }
-    const int batch_size = static_cast<int>(batch_end - queue_head);
+    const double start = faults.next_up_us(
+        static_cast<int>(instance), std::max(avail, head.ready_us));
+    const double wait_us = start - head_req.arrival_us;
+
+    // Admission control on the head of the line. Overload shedding drops
+    // best-effort first-attempt work when the projected queue wait blows
+    // past the policy threshold; deadline shedding drops requests whose
+    // surrogate-priced standalone finish already misses their SLO (serving
+    // them would burn capacity on work that is late on arrival).
+    if (should_shed_overload(policy, wait_us, head_req.has_deadline(),
+                             head.attempt) ||
+        (policy.shed_on_deadline && head_req.has_deadline() &&
+         start + head_outcome.service_us >
+             head_req.arrival_us + head_req.deadline_us)) {
+      head_outcome.status = RequestStatus::kShed;
+      head_outcome.attempts = head.attempt;
+      queue.erase(queue.begin());
+      continue;
+    }
+
+    // Fuse the FIFO run of already-ready pending requests sharing head's
+    // PWL table AND phase, up to the (possibly overload-degraded) batch
+    // cap. Prefill and decode never fuse: they share no wave shape (a
+    // prefill wave streams seq_len-scaled volumes, a decode wave a single
+    // query token's), so a mixed dispatch could not reuse the broadcast
+    // flit train the overlap credit models.
+    const int cap = degraded_max_batch(policy, config_.max_batch, wait_us);
+    std::vector<Pending> batch{head};
+    for (auto it = std::next(queue.begin());
+         it != queue.end() && static_cast<int>(batch.size()) < cap; ++it) {
+      const auto& req = requests[static_cast<std::size_t>(it->id)];
+      if (it->ready_us > start || req.function != head_req.function ||
+          req.breakpoints != head_req.breakpoints ||
+          req.phase != head_req.phase) {
+        break;
+      }
+      batch.push_back(*it);
+    }
+    const int batch_size = static_cast<int>(batch.size());
 
     // Batch service = sum of standalone costs minus the pipeline-overlap
     // credit: fused members reuse the in-flight broadcast train, so every
     // member after the first saves the pipeline fill of its first wave
-    // (wave_latency - 1 accelerator cycles).
+    // (wave_latency - 1 accelerator cycles). An active slowdown window
+    // stretches the whole dispatch.
     double service_us = 0.0;
-    for (std::size_t k = queue_head; k < batch_end; ++k) {
-      const auto& outcome = report.outcomes[k];
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const auto& outcome =
+          report.outcomes[static_cast<std::size_t>(batch[k].id)];
       service_us += outcome.service_us;
-      if (k != queue_head) {
+      if (k != 0) {
         service_us -=
             std::max(0, outcome.wave_latency_cycles - 1) * cycle_us;
       }
     }
     service_us = std::max(service_us, cycle_us);
+    service_us *= faults.slowdown_at(static_cast<int>(instance), start);
     const double finish = start + service_us;
 
-    for (std::size_t k = queue_head; k < batch_end; ++k) {
-      auto& outcome = report.outcomes[k];
+    for (const auto& member : batch) {
+      queue.erase(member);
+    }
+    auto& inst = report.instances[instance];
+
+    // An outage window opening mid-service kills the dispatch: the work is
+    // lost, members retry after capped exponential backoff (or fail for
+    // good once their attempts are spent), and the instance sits out the
+    // window before taking new work.
+    if (const auto failed_at = faults.outage_in(static_cast<int>(instance),
+                                                start, finish)) {
+      for (const auto& member : batch) {
+        auto& outcome = report.outcomes[static_cast<std::size_t>(member.id)];
+        if (member.attempt > policy.max_retries) {
+          outcome.status = RequestStatus::kFailed;
+          outcome.attempts = member.attempt;
+        } else {
+          const double backoff_us = retry_backoff_us(
+              policy, member.attempt, member.id, config_.seed);
+          report.stats.sample("serve.backoff_us", backoff_us);
+          report.stats.bump("serve.retries");
+          queue.insert(
+              Pending{*failed_at + backoff_us, member.id, member.attempt + 1});
+        }
+      }
+      inst.failed_batches += 1;
+      inst.busy_us += *failed_at - start;
+      free_at[instance] = *failed_at;
+      ++batch_id;
+      continue;
+    }
+
+    for (const auto& member : batch) {
+      auto& outcome = report.outcomes[static_cast<std::size_t>(member.id)];
+      const auto& req = requests[static_cast<std::size_t>(member.id)];
       outcome.instance = static_cast<int>(instance);
       outcome.batch_id = batch_id;
       outcome.batch_size = batch_size;
       outcome.start_us = start;
       outcome.finish_us = finish;
+      outcome.attempts = member.attempt;
+      if (req.has_deadline() && finish > req.arrival_us + req.deadline_us) {
+        outcome.status = RequestStatus::kDeadlineMiss;
+      } else if (member.attempt > 1) {
+        outcome.status = RequestStatus::kRetried;
+      } else {
+        outcome.status = RequestStatus::kOk;
+      }
     }
-    auto& inst = report.instances[instance];
     inst.requests += batch_size;
     inst.batches += 1;
     inst.busy_us += service_us;
@@ -254,21 +359,56 @@ ServeReport BatchScheduler::run(
 
     free_at[instance] = finish;
     last_finish = std::max(last_finish, finish);
-    queue_head = batch_end;
     ++batch_id;
   }
 
-  // Aggregates: latencies recorded in request order for determinism.
-  for (const auto& outcome : report.outcomes) {
-    latency_hist.record(outcome.latency_us());
-    report.stats.sample("serve.service_us", outcome.service_us);
-    report.stats.sample("serve.queue_us", outcome.queue_us());
+  // Aggregates, in request order for determinism. Latency and service
+  // samples cover served requests only (shed/failed outcomes never
+  // finished -- recording their zeros would drag every percentile down);
+  // unserved outcomes have their service-side fields zeroed to enforce the
+  // RequestOutcome unserved contract.
+  std::uint64_t served = 0;
+  for (auto& outcome : report.outcomes) {
+    if (outcome.served()) {
+      ++served;
+      latency_hist.record(outcome.latency_us());
+      report.stats.sample("serve.service_us", outcome.service_us);
+      report.stats.sample("serve.queue_us", outcome.queue_us());
+    } else {
+      outcome.service_cycles = 0;
+      outcome.wave_latency_cycles = 0;
+      outcome.service_us = 0.0;
+      outcome.start_us = 0.0;
+      outcome.finish_us = 0.0;
+    }
+    report.stats.sample("serve.attempts",
+                        static_cast<double>(outcome.attempts));
+    report.status_counts[static_cast<std::size_t>(outcome.status)] += 1;
   }
-  report.makespan_us = last_finish - requests.front().arrival_us;
+  report.makespan_us =
+      std::max(0.0, last_finish - requests.front().arrival_us);
+  const std::uint64_t on_time = report.status_count(RequestStatus::kOk) +
+                                report.status_count(RequestStatus::kRetried);
   report.throughput_rps =
       report.makespan_us > 0.0
-          ? static_cast<double>(requests.size()) * 1e6 / report.makespan_us
+          ? static_cast<double>(served) * 1e6 / report.makespan_us
           : 0.0;
+  report.goodput_rps =
+      report.makespan_us > 0.0
+          ? static_cast<double>(on_time) * 1e6 / report.makespan_us
+          : 0.0;
+
+  // Availability: outage time inside the serving interval, per instance.
+  for (std::size_t j = 0; j < report.instances.size(); ++j) {
+    auto& inst = report.instances[j];
+    if (report.makespan_us > 0.0) {
+      inst.down_us = faults.downtime_in(static_cast<int>(j),
+                                        requests.front().arrival_us,
+                                        last_finish);
+      inst.availability =
+          std::max(0.0, 1.0 - inst.down_us / report.makespan_us);
+    }
+  }
   return report;
 }
 

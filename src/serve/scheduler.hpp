@@ -30,23 +30,37 @@
 //      PwlLibrary::get is additionally mutex-guarded).
 //
 //   2. Dispatch (serial, deterministic): an event-driven loop assigns
-//      requests FIFO to the earliest-free instance. When an instance picks
-//      up work it fuses up to max_batch already-arrived consecutive
-//      requests that share a PWL table (function + breakpoints) AND a
-//      phase into one dispatch: fused waves reuse the broadcast flit train
-//      back-to-back, so each extra member saves the pipeline-fill latency
-//      of its first wave (the overlap credit below). Prefill and decode
-//      requests never fuse -- they share no wave shape.
+//      ready requests FIFO to the earliest-available instance. When an
+//      instance picks up work it fuses up to max_batch already-ready
+//      consecutive requests that share a PWL table (function +
+//      breakpoints) AND a phase into one dispatch: fused waves reuse the
+//      broadcast flit train back-to-back, so each extra member saves the
+//      pipeline-fill latency of its first wave (the overlap credit below).
+//      Prefill and decode requests never fuse -- they share no wave shape.
+//
+//      Failure awareness (config.faults + config.policy): dispatch skips
+//      instances inside an outage window; a batch whose instance fails
+//      mid-service is re-queued and retried with capped exponential
+//      backoff + deterministic jitter (kFailed after max_retries);
+//      requests whose projected finish already misses their deadline are
+//      shed at admission; and past a projected-queue-wait threshold the
+//      effective batch cap shrinks toward latency before best-effort work
+//      is shed. With the default (empty) FaultPlan and default policy the
+//      loop reduces exactly to the paragraph above: a zero-fault run is
+//      byte-identical to a fault-free one.
 //
 // All times are simulated microseconds; the accelerator clock converts the
 // SimSession's cycle counts (config.nova.accel_freq_mhz cycles per us).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/vector_unit.hpp"
 #include "hwmodel/vector_unit_cost.hpp"
+#include "serve/faults.hpp"
+#include "serve/policy.hpp"
 #include "serve/request.hpp"
 #include "serve/surrogate.hpp"
 #include "sim/stats.hpp"
@@ -86,11 +100,32 @@ struct ServeConfig {
   /// Distinct shapes hybrid mode re-prices exactly, spread evenly over the
   /// shape-sorted distinct set (deterministic; capped by the set size).
   int hybrid_samples = 24;
+  /// Per-instance fault timeline dispatch simulates against (see
+  /// faults.hpp). The default empty plan keeps every instance healthy and
+  /// the run byte-identical to a pre-fault one.
+  FaultPlan faults;
+  /// Retry/backoff, deadline-shedding, and overload-degradation policy
+  /// (see policy.hpp). Validated eagerly by the constructor.
+  FailurePolicy policy;
 };
 
-/// Where and when one request was served.
+/// Where and when one request was served -- or why it was not.
+///
+/// Unserved contract: outcomes whose status is kShed or kFailed were never
+/// serviced, and every service-side field stays at its zero default --
+/// instance == -1, batch_id == -1, service_cycles == 0, service_us ==
+/// start_us == finish_us == 0.0 (enforced by the scheduler, not merely
+/// documented; shed requests are priced for the admission projection but
+/// the price is not part of their outcome). Aggregate consumers must
+/// filter on served() rather than probing instance == -1.
 struct RequestOutcome {
   InferenceRequest request;
+  /// Terminal status; kOk/kRetried/kDeadlineMiss outcomes were served to
+  /// completion, kShed/kFailed never were (see the unserved contract).
+  RequestStatus status = RequestStatus::kOk;
+  /// Dispatch attempts made (1 = served first try; a shed request records
+  /// the attempt it was shed on, a failed one max_retries + 1).
+  int attempts = 1;
   int instance = -1;
   int batch_id = -1;
   int batch_size = 1;
@@ -105,6 +140,14 @@ struct RequestOutcome {
   double start_us = 0.0;   ///< dispatch time of the containing batch
   double finish_us = 0.0;  ///< completion of the containing batch
 
+  /// True when the request completed service (kOk/kRetried/kDeadlineMiss).
+  [[nodiscard]] bool served() const {
+    return status == RequestStatus::kOk ||
+           status == RequestStatus::kRetried ||
+           status == RequestStatus::kDeadlineMiss;
+  }
+  /// End-to-end latency; meaningful only for served() outcomes (0 minus
+  /// arrival otherwise -- check served() first).
   [[nodiscard]] double latency_us() const {
     return finish_us - request.arrival_us;
   }
@@ -113,11 +156,18 @@ struct RequestOutcome {
   }
 };
 
-/// Per-instance utilization accounting.
+/// Per-instance utilization and availability accounting.
 struct InstanceStats {
   int requests = 0;
   int batches = 0;
   double busy_us = 0.0;
+  /// Dispatches on this instance killed by an outage window.
+  int failed_batches = 0;
+  /// Outage time inside the report's makespan (slowdown windows count as
+  /// up -- they serve, just slowly).
+  double down_us = 0.0;
+  /// Fraction of the makespan this instance was up; 1 when no faults.
+  double availability = 1.0;
 };
 
 /// The full serving run: per-request outcomes plus aggregates.
@@ -133,8 +183,23 @@ struct ServeReport {
   SurrogateAudit surrogate;
   /// First arrival to last completion.
   double makespan_us = 0.0;
+  /// Served requests (kOk/kRetried/kDeadlineMiss) per second of makespan:
+  /// raw delivery rate, deadline misses included.
   double throughput_rps = 0.0;
+  /// Useful work per second of makespan: served requests that also met
+  /// their deadline (kOk/kRetried). Equals throughput_rps when nothing is
+  /// shed, failed, or late -- i.e. in every fault-free, deadline-free run.
+  double goodput_rps = 0.0;
+  /// Outcome counts indexed by RequestStatus; sums to outcomes.size().
+  std::array<std::uint64_t, kRequestStatusCount> status_counts{};
 
+  [[nodiscard]] std::uint64_t status_count(RequestStatus status) const {
+    return status_counts[static_cast<std::size_t>(status)];
+  }
+
+  /// Latency percentile over SERVED requests only (the "serve.latency_us"
+  /// histogram never records shed/failed outcomes, which have no finish).
+  /// 0.0 when nothing was served, matching the Histogram empty contract.
   [[nodiscard]] double latency_percentile_us(double p) const;
 };
 

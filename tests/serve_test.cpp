@@ -108,10 +108,28 @@ TEST(Trace, RejectsMalformedLines) {
     EXPECT_NE(error.find("unknown phase"), std::string::npos);
   }
   {
-    // More than seven columns is malformed outright.
-    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, decode, 256, 9\n");
+    // An eighth column is the deadline; a ninth is malformed outright.
+    std::istringstream in(
+        "1.0, bert-tiny, gelu, 64, 16, decode, 256, 9, 1\n");
     EXPECT_FALSE(parse_trace(in, requests, error));
     EXPECT_NE(error.find("expected"), std::string::npos);
+  }
+  {
+    // A negative or non-finite deadline cannot be compared against a
+    // projected finish.
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, prefill, 0, -5\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("deadline_us"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, prefill, 0, inf\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("deadline_us"), std::string::npos);
+  }
+  {
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, prefill, 0, 1x\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("malformed number"), std::string::npos);
   }
   {
     std::istringstream in("1.0, bert-tiny, gelu, 64x, 16\n");
@@ -695,6 +713,338 @@ TEST(RequestGeneratorDeathTest, RejectsNonPositiveRate) {
   EXPECT_DEATH((void)generate_poisson(4, profile, 1), "precondition");
   profile.rate_rps = 0.0;
   EXPECT_DEATH((void)generate_poisson(4, profile, 1), "precondition");
+}
+
+// ---- Failure-aware serving -----------------------------------------------
+
+FaultWindow fault_outage(double start, double end) {
+  FaultWindow window;
+  window.start_us = start;
+  window.end_us = end;
+  return window;
+}
+
+FaultWindow fault_slowdown(double start, double end, double factor) {
+  FaultWindow window;
+  window.kind = FaultKind::kSlowdown;
+  window.start_us = start;
+  window.end_us = end;
+  window.slowdown = factor;
+  return window;
+}
+
+/// Standalone service time of one default request on the test pool.
+double standalone_service_us() {
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  const auto report = BatchScheduler(small_pool(1, 1)).run(requests);
+  return report.outcomes[0].service_us;
+}
+
+TEST(RequestGenerator, StampsTheProfileDeadline) {
+  TrafficProfile profile;
+  profile.deadline_us = 1234.5;
+  for (const auto& req : generate_poisson(16, profile, 3)) {
+    EXPECT_DOUBLE_EQ(req.deadline_us, 1234.5);
+    EXPECT_TRUE(req.has_deadline());
+  }
+  profile.deadline_us = 0.0;
+  for (const auto& req : generate_poisson(16, profile, 3)) {
+    EXPECT_FALSE(req.has_deadline());
+  }
+}
+
+TEST(RequestGeneratorDeathTest, RejectsBadProfileDeadline) {
+  TrafficProfile profile;
+  profile.deadline_us = -1.0;
+  EXPECT_DEATH((void)generate_poisson(4, profile, 1), "precondition");
+}
+
+TEST(Trace, ParsesTheDeadlineColumn) {
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  std::istringstream in(
+      "5.0, bert-tiny, gelu, 64, 16, prefill, 0, 250.5\n"
+      "1.0, bert-mini, exp, 1, 16, decode, 512, 0\n"
+      "2.0, bert-tiny, tanh, 32, 16\n");
+  ASSERT_TRUE(parse_trace(in, requests, error)) << error;
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_DOUBLE_EQ(requests[0].deadline_us, 0.0);  // explicit 0 = none
+  EXPECT_FALSE(requests[0].has_deadline());
+  EXPECT_DOUBLE_EQ(requests[1].deadline_us, 0.0);  // absent = none
+  EXPECT_DOUBLE_EQ(requests[2].deadline_us, 250.5);
+  EXPECT_TRUE(requests[2].has_deadline());
+}
+
+TEST(BatchScheduler, OutageDelaysDispatchUntilRecovery) {
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  auto config = small_pool(1, 1);
+  config.faults = FaultPlan::make({{fault_outage(0.0, 10.0)}});
+  const auto report = BatchScheduler(config).run(requests);
+  EXPECT_EQ(report.outcomes[0].status, RequestStatus::kOk);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(report.outcomes[0].queue_us(), 10.0);
+  EXPECT_GT(report.instances[0].down_us, 0.0);
+  EXPECT_LT(report.instances[0].availability, 1.0);
+}
+
+TEST(BatchScheduler, SlowdownStretchesServiceWithoutDowntime) {
+  const double s = standalone_service_us();
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  auto config = small_pool(1, 1);
+  config.faults =
+      FaultPlan::make({{fault_slowdown(0.0, 1000.0 * s, 3.0)}});
+  const auto report = BatchScheduler(config).run(requests);
+  EXPECT_EQ(report.outcomes[0].status, RequestStatus::kOk);
+  EXPECT_NEAR(report.outcomes[0].finish_us, 3.0 * s, 1e-9);
+  // A slowdown window counts as up: the instance served, just slowly.
+  EXPECT_DOUBLE_EQ(report.instances[0].down_us, 0.0);
+  EXPECT_DOUBLE_EQ(report.instances[0].availability, 1.0);
+}
+
+TEST(BatchScheduler, RetriesAfterMidServiceOutage) {
+  const double s = standalone_service_us();
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  auto config = small_pool(1, 1);
+  // The outage opens mid-service: the first attempt dies at 0.5 s.
+  config.faults =
+      FaultPlan::make({{fault_outage(0.5 * s, 0.6 * s)}});
+  const auto report = BatchScheduler(config).run(requests);
+  const auto& outcome = report.outcomes[0];
+  EXPECT_EQ(outcome.status, RequestStatus::kRetried);
+  EXPECT_EQ(outcome.attempts, 2);
+  // The retry waits out the backoff (>= 50 us base, well past the window).
+  EXPECT_GE(outcome.start_us, 0.5 * s + config.policy.backoff_base_us);
+  EXPECT_DOUBLE_EQ(outcome.finish_us, outcome.start_us + s);
+  EXPECT_EQ(report.instances[0].failed_batches, 1);
+  EXPECT_EQ(report.status_count(RequestStatus::kRetried), 1u);
+  EXPECT_EQ(report.stats.counter("serve.retries"), 1u);
+  // Goodput counts the retried request: it was served on time (no SLO).
+  EXPECT_DOUBLE_EQ(report.goodput_rps, report.throughput_rps);
+}
+
+TEST(BatchScheduler, FailsAfterExhaustingRetries) {
+  const double s = standalone_service_us();
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  auto config = small_pool(1, 1);
+  config.policy.max_retries = 0;
+  config.faults =
+      FaultPlan::make({{fault_outage(0.5 * s, 0.6 * s)}});
+  const auto report = BatchScheduler(config).run(requests);
+  const auto& outcome = report.outcomes[0];
+  EXPECT_EQ(outcome.status, RequestStatus::kFailed);
+  EXPECT_EQ(outcome.attempts, 1);
+  // The unserved contract: every service-side field zeroed.
+  EXPECT_EQ(outcome.instance, -1);
+  EXPECT_EQ(outcome.batch_id, -1);
+  EXPECT_EQ(outcome.service_cycles, 0u);
+  EXPECT_DOUBLE_EQ(outcome.service_us, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.start_us, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.finish_us, 0.0);
+  EXPECT_FALSE(outcome.served());
+  EXPECT_EQ(report.status_count(RequestStatus::kFailed), 1u);
+  EXPECT_DOUBLE_EQ(report.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(report.goodput_rps, 0.0);
+}
+
+TEST(BatchScheduler, SecondOutageExhaustsTheRetryBudget) {
+  const double s = standalone_service_us();
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  auto config = small_pool(1, 1);
+  config.policy.max_retries = 1;
+  // First attempt dies at 0.5 s; the retry starts after its deterministic
+  // backoff and a second window kills it too -> kFailed with attempts 2.
+  const double backoff =
+      retry_backoff_us(config.policy, 1, 0, config.seed);
+  const double retry_start = 0.5 * s + backoff;
+  config.faults = FaultPlan::make(
+      {{fault_outage(0.5 * s, 0.51 * s),
+        fault_outage(retry_start + 0.1 * s, retry_start + 0.2 * s)}});
+  const auto report = BatchScheduler(config).run(requests);
+  EXPECT_EQ(report.outcomes[0].status, RequestStatus::kFailed);
+  EXPECT_EQ(report.outcomes[0].attempts, 2);
+  EXPECT_EQ(report.instances[0].failed_batches, 2);
+}
+
+TEST(BatchScheduler, ShedsHopelessDeadlinesAtAdmission) {
+  const double s = standalone_service_us();
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  requests[0].deadline_us = 0.5 * s;  // cannot be met even if dispatched now
+  const auto report = BatchScheduler(small_pool(1, 1)).run(requests);
+  const auto& outcome = report.outcomes[0];
+  EXPECT_EQ(outcome.status, RequestStatus::kShed);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_EQ(outcome.instance, -1);
+  EXPECT_DOUBLE_EQ(outcome.finish_us, 0.0);
+  EXPECT_EQ(report.status_count(RequestStatus::kShed), 1u);
+  // Nothing was served: the latency histogram is empty, and its empty
+  // contract reports 0 percentiles rather than poisoning them with zeros.
+  const auto* hist = report.stats.find_histogram("serve.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 0u);
+  EXPECT_DOUBLE_EQ(report.latency_percentile_us(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(report.latency_percentile_us(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(report.makespan_us, 0.0);
+  EXPECT_DOUBLE_EQ(report.throughput_rps, 0.0);
+}
+
+TEST(BatchScheduler, LateServiceCountsAsDeadlineMiss) {
+  const double s = standalone_service_us();
+  std::vector<InferenceRequest> requests(1);
+  requests[0].id = 0;
+  requests[0].deadline_us = 0.5 * s;
+  auto config = small_pool(1, 1);
+  config.policy.shed_on_deadline = false;  // serve it anyway
+  const auto report = BatchScheduler(config).run(requests);
+  const auto& outcome = report.outcomes[0];
+  EXPECT_EQ(outcome.status, RequestStatus::kDeadlineMiss);
+  EXPECT_TRUE(outcome.served());
+  EXPECT_DOUBLE_EQ(outcome.finish_us, s);
+  // Served but late: counted in throughput, excluded from goodput.
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(report.goodput_rps, 0.0);
+  const auto* hist = report.stats.find_histogram("serve.latency_us");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);
+}
+
+TEST(BatchScheduler, OverloadShrinksBatchesBeforeShedding) {
+  // Eight same-table requests queued at t=0 on one instance: the first
+  // dispatch fuses 4 (head wait 0); by the second the projected wait is
+  // one full batch service, so a threshold at half that wait halves the
+  // cap.
+  std::vector<InferenceRequest> requests(8);
+  for (int i = 0; i < 8; ++i) requests[static_cast<std::size_t>(i)].id = i;
+  auto config = small_pool(1, 1);
+  config.max_batch = 4;
+  const auto base = BatchScheduler(config).run(requests);
+  EXPECT_EQ(base.outcomes[4].batch_size, 4);
+  const double first_batch_service = base.outcomes[0].finish_us;
+
+  config.policy.overload_queue_us = 0.5 * first_batch_service;
+  config.policy.overload_shed_factor = 1000.0;  // isolate degradation
+  const auto degraded = BatchScheduler(config).run(requests);
+  EXPECT_EQ(degraded.outcomes[0].batch_size, 4);  // head wait 0: full cap
+  EXPECT_EQ(degraded.outcomes[4].batch_size, 2);  // wait 2x threshold
+  for (const auto& outcome : degraded.outcomes) {
+    EXPECT_TRUE(outcome.served());
+  }
+
+  // With a tight shed factor the backlogged best-effort tail is dropped
+  // outright instead.
+  config.policy.overload_queue_us = 0.01 * first_batch_service;
+  config.policy.overload_shed_factor = 4.0;
+  const auto shed = BatchScheduler(config).run(requests);
+  EXPECT_GT(shed.status_count(RequestStatus::kShed), 0u);
+  EXPECT_EQ(shed.status_count(RequestStatus::kShed) +
+                shed.status_count(RequestStatus::kOk),
+            8u);
+}
+
+TEST(BatchScheduler, DeterministicUnderFaultsAcrossThreadsAndModes) {
+  TrafficProfile profile;
+  profile.rate_rps = 2e6;  // saturate so queues, sheds, and retries occur
+  profile.deadline_us = 400.0;
+  const auto requests = generate_poisson(200, profile, 13);
+
+  FaultProfile fault_profile;
+  fault_profile.mtbf_us = 200.0;
+  fault_profile.mttr_us = 60.0;
+  fault_profile.slowdown_fraction = 0.3;
+  fault_profile.slowdown_factor = 2.0;
+  const auto plan = draw_fault_plan(
+      fault_profile, 3, 4.0 * requests.back().arrival_us, 13);
+  ASSERT_FALSE(plan.empty());
+
+  for (const auto mode : {PricingMode::kExact, PricingMode::kSurrogate,
+                          PricingMode::kHybrid}) {
+    const auto configure = [&](int threads) {
+      auto config = small_pool(3, threads);
+      config.pricing = mode;
+      config.faults = plan;
+      config.policy.max_retries = 2;
+      config.policy.overload_queue_us = 150.0;
+      return config;
+    };
+    const auto one = BatchScheduler(configure(1)).run(requests);
+    const auto two = BatchScheduler(configure(2)).run(requests);
+    const auto eight = BatchScheduler(configure(8)).run(requests);
+    // The run must actually exercise the failure paths, not trivially
+    // agree on an all-kOk stream.
+    EXPECT_LT(one.status_count(RequestStatus::kOk), requests.size());
+    for (const auto* other : {&two, &eight}) {
+      ASSERT_EQ(one.outcomes.size(), other->outcomes.size());
+      for (std::size_t i = 0; i < one.outcomes.size(); ++i) {
+        const auto& a = one.outcomes[i];
+        const auto& b = other->outcomes[i];
+        EXPECT_EQ(a.status, b.status);
+        EXPECT_EQ(a.attempts, b.attempts);
+        EXPECT_EQ(a.instance, b.instance);
+        EXPECT_EQ(a.batch_id, b.batch_id);
+        EXPECT_EQ(a.service_cycles, b.service_cycles);
+        EXPECT_DOUBLE_EQ(a.service_us, b.service_us);
+        EXPECT_DOUBLE_EQ(a.start_us, b.start_us);
+        EXPECT_DOUBLE_EQ(a.finish_us, b.finish_us);
+      }
+      EXPECT_EQ(one.status_counts, other->status_counts);
+      EXPECT_DOUBLE_EQ(one.goodput_rps, other->goodput_rps);
+      EXPECT_DOUBLE_EQ(one.throughput_rps, other->throughput_rps);
+      for (std::size_t j = 0; j < one.instances.size(); ++j) {
+        EXPECT_DOUBLE_EQ(one.instances[j].down_us,
+                         other->instances[j].down_us);
+        EXPECT_EQ(one.instances[j].failed_batches,
+                  other->instances[j].failed_batches);
+      }
+    }
+  }
+}
+
+TEST(BatchScheduler, ZeroFaultPlanMatchesNoPlanBitForBit) {
+  TrafficProfile profile;
+  profile.rate_rps = 1e6;
+  const auto requests = generate_poisson(100, profile, 5);
+  auto config = small_pool(2, 1);
+  const auto plain = BatchScheduler(config).run(requests);
+  config.faults =
+      FaultPlan::make(std::vector<std::vector<FaultWindow>>(2));
+  const auto zero = BatchScheduler(config).run(requests);
+  for (std::size_t i = 0; i < plain.outcomes.size(); ++i) {
+    EXPECT_EQ(plain.outcomes[i].status, zero.outcomes[i].status);
+    EXPECT_EQ(plain.outcomes[i].instance, zero.outcomes[i].instance);
+    EXPECT_EQ(plain.outcomes[i].batch_id, zero.outcomes[i].batch_id);
+    EXPECT_DOUBLE_EQ(plain.outcomes[i].start_us, zero.outcomes[i].start_us);
+    EXPECT_DOUBLE_EQ(plain.outcomes[i].finish_us,
+                     zero.outcomes[i].finish_us);
+  }
+  EXPECT_DOUBLE_EQ(plain.throughput_rps, zero.throughput_rps);
+  EXPECT_DOUBLE_EQ(plain.goodput_rps, zero.goodput_rps);
+  EXPECT_EQ(plain.status_count(RequestStatus::kOk), requests.size());
+}
+
+TEST(BatchSchedulerDeathTest, RejectsBadRequestDeadlines) {
+  const BatchScheduler scheduler(small_pool(1, 1));
+  {
+    std::vector<InferenceRequest> requests(1);
+    requests[0].deadline_us = -1.0;
+    EXPECT_DEATH((void)scheduler.run(requests), "deadline_us");
+  }
+  {
+    std::vector<InferenceRequest> requests(1);
+    requests[0].deadline_us = std::nan("");
+    EXPECT_DEATH((void)scheduler.run(requests), "deadline_us");
+  }
+}
+
+TEST(BatchSchedulerDeathTest, RejectsBadPolicyAtConstruction) {
+  auto config = small_pool(1, 1);
+  config.policy.max_retries = -2;
+  EXPECT_DEATH(BatchScheduler{config}, "max_retries");
 }
 
 }  // namespace
