@@ -447,6 +447,7 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
     // interleaves prefill and decode request classes.
     if (options.decode) profile.decode_fraction = 1.0;
     profile.deadline_us = options.deadline_us;
+    profile.max_steps = options.max_steps;
     // An explicit --workload / --function narrows the generated mix;
     // "bert"/"all" asks for the full five-benchmark stream.
     if (options.workload_set) {
@@ -479,6 +480,8 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
   serve_cfg.surrogate_tol = options.surrogate_tol;
   serve_cfg.policy.max_retries = options.max_retries;
   serve_cfg.policy.overload_queue_us = options.shed_us;
+  serve_cfg.continuous = options.continuous;
+  serve_cfg.chunk_tokens = options.chunk_tokens;
   if (options.faults) {
     serve::FaultProfile fault_profile;
     fault_profile.mtbf_us = options.mtbf_us;
@@ -528,6 +531,23 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
                        ? "poisson @ " + Table::num(options.rate_rps, 1) +
                              " req/s"
                        : "trace " + options.trace_path});
+  // Continuous-only rows come first and whole mode adds none, keeping the
+  // classic report byte-identical to the pre-session scheduler's output.
+  if (options.continuous) {
+    summary.add_row({"mode", "continuous (chunk " +
+                                 std::to_string(options.chunk_tokens) +
+                                 " tokens)"});
+    summary.add_row({"steps dispatched",
+                     std::to_string(report.stats.counter("serve.steps"))});
+    summary.add_row(
+        {"preempted steps",
+         std::to_string(report.stats.counter("serve.preempted_steps"))});
+    const auto* ttft = report.stats.find_histogram("serve.ttft_us");
+    if (ttft != nullptr && ttft->count() > 0) {
+      summary.add_row({"mean TTFT (us)", Table::num(ttft->mean(), 3)});
+      summary.add_row({"max TTFT (us)", Table::num(ttft->max(), 3)});
+    }
+  }
   summary.add_row({"batches dispatched",
                    std::to_string(report.stats.counter("serve.batches"))});
   const auto* batch_hist = report.stats.find_histogram("serve.batch_size");

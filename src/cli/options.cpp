@@ -5,6 +5,7 @@
 #include "accel/accelerator.hpp"
 #include "approx/functions.hpp"
 #include "common/parse.hpp"
+#include "serve/request.hpp"
 #include "workload/bert.hpp"
 
 namespace nova::cli {
@@ -191,13 +192,28 @@ std::string usage() {
       "                     and best-effort work sheds at 4x the threshold\n"
       "                     (default: 0 = disabled)\n"
       "\n"
+      "Continuous batching (--continuous/--chunk-tokens imply --serve):\n"
+      "  --continuous       iteration-level scheduling: generations become\n"
+      "                     sessions of kv-growing decode steps, prefills\n"
+      "                     split into chunks that interleave with decode,\n"
+      "                     and an outage preempts only the step in flight\n"
+      "                     (the session resumes with its KV cache intact)\n"
+      "  --chunk-tokens N   prefill chunk size in prompt tokens under\n"
+      "                     --continuous              (default: 64)\n"
+      "  --max-steps N      generation length drawn per generated request,\n"
+      "                     uniform in [1, N]; 0 keeps classic single-step\n"
+      "                     traffic; trace files carry their own trailing\n"
+      "                     steps column              (default: 0)\n"
+      "\n"
       "Examples:\n"
       "  nova_sim --workload bert --seq 128\n"
       "  nova_sim --workload bert-tiny --decode --kv-len 1024\n"
       "  nova_sim --workload mobilebert-base --seq 1024 --host tpuv3\n"
       "  nova_sim --breakpoints 32 --pairs-per-flit 4 --function exp\n"
       "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n"
-      "  nova_sim --serve --faults --mtbf 5000 --mttr 1000 --deadline 2000\n";
+      "  nova_sim --serve --faults --mtbf 5000 --mttr 1000 --deadline 2000\n"
+      "  nova_sim --continuous --max-steps 16 --chunk-tokens 64 "
+      "--pricing hybrid\n";
   return text;
 }
 
@@ -335,6 +351,21 @@ bool parse_options(int argc, const char* const* argv, Options& options,
     } else if (flag == "--shed") {
       if (!next(value) ||
           !parse_double(flag, value, 0.0, 1e12, options.shed_us, error))
+        return false;
+      options.serve = true;
+    } else if (flag == "--continuous") {
+      options.continuous = true;
+      options.serve = true;
+    } else if (flag == "--chunk-tokens") {
+      if (!next(value) ||
+          !parse_int(flag, value, 1, 1 << 20, options.chunk_tokens, error))
+        return false;
+      options.continuous = true;
+      options.serve = true;
+    } else if (flag == "--max-steps") {
+      if (!next(value) ||
+          !parse_int(flag, value, 0, serve::kMaxGenSteps, options.max_steps,
+                     error))
         return false;
       options.serve = true;
     } else {

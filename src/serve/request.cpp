@@ -35,6 +35,7 @@ std::vector<InferenceRequest> generate_poisson(int count,
   NOVA_EXPECTS(profile.base_kv_len >= 1);
   NOVA_EXPECTS(std::isfinite(profile.deadline_us) &&
                profile.deadline_us >= 0.0);
+  NOVA_EXPECTS(profile.max_steps >= 0 && profile.max_steps <= kMaxGenSteps);
   NOVA_EXPECTS(!profile.workloads.empty());
   NOVA_EXPECTS(!profile.functions.empty());
 
@@ -71,6 +72,15 @@ std::vector<InferenceRequest> generate_poisson(int count,
           1, static_cast<int>(std::lround(profile.base_kv_len * kv_scale)));
       req.seq_len = 1;  // one query token; volume scales with kv_len
     }
+    // Generation-length draw AFTER the shape draws and gated exactly like
+    // the phase draw: max_steps == 0 consumes no randomness, so legacy
+    // profiles reproduce their streams bit for bit.
+    if (profile.max_steps > 0) {
+      const int gen = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::size_t>(profile.max_steps)));
+      req.gen_steps =
+          req.phase == pipeline::Phase::kDecode ? gen - 1 : gen;
+    }
     req.deadline_us = profile.deadline_us;
     requests.push_back(req);
   }
@@ -88,8 +98,9 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
     if (first == std::string::npos || line[first] == '#') continue;
 
     // Split on ',' into stripped fields: 5 mandatory columns plus the
-    // optional phase and kv_len columns of mixed prefill/decode traces
-    // and the optional trailing deadline_us column of SLO-carrying ones.
+    // optional phase and kv_len columns of mixed prefill/decode traces,
+    // the optional deadline_us column of SLO-carrying ones, and the
+    // optional trailing steps column of multi-step generation traces.
     const auto strip = [](std::string& s) {
       const auto b = s.find_first_not_of(" \t\r");
       const auto e = s.find_last_not_of(" \t\r");
@@ -102,10 +113,10 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
       strip(field);
       fields.push_back(field);
     }
-    if (fields.size() < 5 || fields.size() > 8) {
+    if (fields.size() < 5 || fields.size() > 9) {
       error = "trace line " + std::to_string(line_no) +
               ": expected 'arrival_us,workload,function,seq_len,"
-              "breakpoints[,phase[,kv_len[,deadline_us]]]'";
+              "breakpoints[,phase[,kv_len[,deadline_us[,steps]]]]'";
       return false;
     }
 
@@ -145,7 +156,13 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
               ": malformed number in '" + line + "'";
       return false;
     }
-    if (fields.size() == 8 && !parse_full(fields[7], req.deadline_us)) {
+    if (fields.size() >= 8 && !parse_full(fields[7], req.deadline_us)) {
+      error = "trace line " + std::to_string(line_no) +
+              ": malformed number in '" + line + "'";
+      return false;
+    }
+    int steps = -1;  // total generation length; -1 = column absent
+    if (fields.size() == 9 && !parse_full(fields[8], steps)) {
       error = "trace line " + std::to_string(line_no) +
               ": malformed number in '" + line + "'";
       return false;
@@ -175,6 +192,31 @@ bool parse_trace(std::istream& in, std::vector<InferenceRequest>& out,
     if (!std::isfinite(req.deadline_us) || req.deadline_us < 0.0) {
       error = "trace line " + std::to_string(line_no) +
               ": deadline_us must be finite and >= 0 (0 = no deadline)";
+      return false;
+    }
+    // The steps column counts the request's WHOLE generation, so a decode
+    // line claiming 0 steps contradicts its own existence (it IS a decode
+    // step), and a negative or absurd count would wedge the dispatch loop.
+    if (steps >= 0) {
+      if (steps > kMaxGenSteps) {
+        error = "trace line " + std::to_string(line_no) +
+                ": steps must be <= " + std::to_string(kMaxGenSteps);
+        return false;
+      }
+      if (req.phase == pipeline::Phase::kDecode) {
+        if (steps < 1) {
+          error = "trace line " + std::to_string(line_no) +
+                  ": decode requests need steps >= 1 (the request's own "
+                  "decode step counts toward its generation length)";
+          return false;
+        }
+        req.gen_steps = steps - 1;
+      } else {
+        req.gen_steps = steps;  // tokens decoded after the prefill
+      }
+    } else if (fields.size() == 9) {
+      error = "trace line " + std::to_string(line_no) +
+              ": steps must be >= 0 (total generation length)";
       return false;
     }
     out.push_back(req);

@@ -49,9 +49,24 @@ struct InferenceRequest {
   /// 0 means no deadline -- best-effort work, the first to be shed under
   /// overload. Must be finite and >= 0.
   double deadline_us = 0.0;
+  /// Additional autoregressive decode steps chained onto this request,
+  /// turning it into a generation session (serve/session.hpp). A prefill
+  /// request with gen_steps n prefills, then decodes n tokens at kv_len =
+  /// seq_len, seq_len+1, ...; a decode request runs its own step at kv_len
+  /// plus n more at kv_len+1..kv_len+n. 0 (the default) is the classic
+  /// single-step request in both phases. The trace `steps` column is the
+  /// TOTAL generation length instead: steps == gen_steps for prefill
+  /// lines, steps == gen_steps + 1 for decode lines (a decode request's
+  /// own step counts toward its generation). Must be in [0, kMaxGenSteps].
+  int gen_steps = 0;
 
   [[nodiscard]] bool has_deadline() const { return deadline_us > 0.0; }
 };
+
+/// Upper bound on InferenceRequest::gen_steps: enough for any realistic
+/// generation, small enough that a corrupt trace cannot explode the
+/// dispatch loop into billions of steps.
+inline constexpr int kMaxGenSteps = 1 << 16;
 
 /// Shape of the synthetic open-loop traffic the Poisson generator emits.
 struct TrafficProfile {
@@ -76,6 +91,12 @@ struct TrafficProfile {
   /// InferenceRequest::deadline_us); 0 generates best-effort traffic with
   /// no deadlines, reproducing the pre-deadline stream bit for bit.
   double deadline_us = 0.0;
+  /// When > 0, every request carries a generation: its total decode-step
+  /// count draws uniformly from [1, max_steps] (prefill requests get
+  /// gen_steps = the draw, decode requests one less -- their own step
+  /// counts). 0 (default) skips the draw entirely, reproducing the
+  /// pre-session stream bit for bit.
+  int max_steps = 0;
   /// Workload mix, sampled uniformly. Empty profiles are invalid.
   std::vector<std::string> workloads = {"bert-tiny", "bert-mini",
                                         "mobilebert-tiny"};
@@ -93,12 +114,16 @@ struct TrafficProfile {
 
 /// Parses a request trace: one request per line,
 /// `arrival_us,workload,function,seq_len,breakpoints[,phase[,kv_len
-/// [,deadline_us]]]`, with `#` comments and blank lines ignored. `phase`
-/// is "prefill" (default) or "decode"; decode lines must carry kv_len
-/// >= 1, prefill lines may only carry kv_len 0. The optional trailing
+/// [,deadline_us[,steps]]]]`, with `#` comments and blank lines ignored.
+/// `phase` is "prefill" (default) or "decode"; decode lines must carry
+/// kv_len >= 1, prefill lines may only carry kv_len 0. The optional
 /// deadline_us column is the request's SLO budget relative to arrival
-/// (finite, >= 0; 0 or absent means best-effort). Returns false and fills
-/// `error` on malformed input. Requests are re-sorted by arrival time and
+/// (finite, >= 0; 0 or absent means best-effort). The optional trailing
+/// `steps` column is the request's total generation length: >= 0 on
+/// prefill lines (tokens decoded after the prefill), >= 1 on decode lines
+/// (the request's own step counts), at most kMaxGenSteps; absent means a
+/// classic single-step request. Returns false and fills `error` on
+/// malformed input. Requests are re-sorted by arrival time and
 /// re-numbered in that order.
 [[nodiscard]] bool parse_trace(std::istream& in,
                                std::vector<InferenceRequest>& out,

@@ -4,8 +4,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
+#include <optional>
+#include <queue>
 #include <set>
+#include <tuple>
+#include <utility>
 
 #include "accel/accelerator.hpp"
 #include "approx/mlp_fitter.hpp"
@@ -53,22 +58,98 @@ void validate_stream(const std::vector<InferenceRequest>& requests) {
     if (!std::isfinite(req.deadline_us) || req.deadline_us < 0.0) {
       fail("deadline_us must be finite and >= 0 (0 = no deadline)");
     }
+    if (req.gen_steps < 0 || req.gen_steps > kMaxGenSteps) {
+      fail("gen_steps must be in [0, kMaxGenSteps] (decode steps chained "
+           "onto the request)");
+    }
   }
 }
 
-/// One queued dispatch attempt: a request waiting to be (re)dispatched.
-/// Ordered by (ready time, id) so the initial queue replays arrival order
-/// exactly and retries merge back deterministically.
+/// One queued dispatch attempt: a session step waiting to be
+/// (re)dispatched. Ordered by (ready time, id) so the initial queue
+/// replays arrival order exactly and retries merge back deterministically.
+/// Under continuous batching a session has exactly one Pending entry alive
+/// at a time (its next step), so id doubles as the session identity.
 struct Pending {
   double ready_us = 0.0;
   int id = 0;
-  /// 1-based attempt number this entry represents.
+  /// 1-based attempt number this entry represents (per step under
+  /// continuous batching: the retry budget is per step, not per session).
   int attempt = 1;
 
   friend bool operator<(const Pending& a, const Pending& b) {
     if (a.ready_us != b.ready_us) return a.ready_us < b.ready_us;
     return a.id < b.id;
   }
+};
+
+/// The (next_free_us, instance) min-heap replacing the old linear argmin
+/// scan over instances -- per-step dispatch makes instance selection hot.
+///
+/// Protocol: refresh(j) after every free_at[j] change pushes j's current
+/// availability; the entry it supersedes stays behind with a stale (and,
+/// since availability only ever grows, strictly smaller-or-equal) key and
+/// is discarded when it surfaces. The first fresh top is therefore the
+/// true argmin over next_up_us(j, free_at[j]), and the pair ordering
+/// breaks ties on the lowest instance index -- byte-identical decisions to
+/// the scan it replaces.
+class AvailabilityHeap {
+ public:
+  AvailabilityHeap(const FaultPlan& faults, const std::vector<double>& free_at)
+      : faults_(&faults), free_at_(&free_at) {
+    for (std::size_t j = 0; j < free_at.size(); ++j) {
+      refresh(static_cast<int>(j));
+    }
+  }
+
+  void refresh(int instance) {
+    heap_.emplace(
+        faults_->next_up_us(instance,
+                            (*free_at_)[static_cast<std::size_t>(instance)]),
+        instance);
+  }
+
+  /// Earliest-available instance among those `ok` accepts, as
+  /// (availability, instance); nullopt when every instance is rejected.
+  /// Valid-but-rejected entries are parked and restored, so the heap is
+  /// unchanged apart from discarded stale entries.
+  std::optional<std::pair<double, int>> peek_min_where(
+      const std::function<bool(int)>& ok) {
+    parked_.clear();
+    std::optional<std::pair<double, int>> found;
+    while (!heap_.empty()) {
+      const auto top = heap_.top();
+      const double fresh = faults_->next_up_us(
+          top.second, (*free_at_)[static_cast<std::size_t>(top.second)]);
+      if (top.first != fresh) {  // superseded by a later refresh
+        heap_.pop();
+        continue;
+      }
+      if (!ok(top.second)) {
+        parked_.push_back(top);
+        heap_.pop();
+        continue;
+      }
+      found = top;
+      break;
+    }
+    for (const auto& entry : parked_) heap_.push(entry);
+    return found;
+  }
+
+  /// Unfiltered minimum; always present (one fresh entry per instance).
+  std::pair<double, int> peek_min() {
+    return *peek_min_where([](int) { return true; });
+  }
+
+ private:
+  const FaultPlan* faults_;
+  const std::vector<double>* free_at_;
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>,
+                      std::greater<>>
+      heap_;
+  std::vector<std::pair<double, int>> parked_;
 };
 
 }  // namespace
@@ -87,6 +168,7 @@ BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
   NOVA_EXPECTS(config.surrogate_anchors >= 2);
   NOVA_EXPECTS(config.surrogate_tol > 0.0);
   NOVA_EXPECTS(config.hybrid_samples >= 1);
+  NOVA_EXPECTS(config.chunk_tokens >= 1);
   // Graph pricing counts fabric cycles at the host's clock and converts
   // the whole span at nova.accel_freq_mhz; a host/NOVA clock mismatch
   // would silently mis-scale the GEMM share of every latency, so the two
@@ -98,20 +180,29 @@ BatchScheduler::BatchScheduler(const ServeConfig& config) : config_(config) {
 
 void BatchScheduler::price_requests(
     const std::vector<InferenceRequest>& requests,
-    std::vector<RequestOutcome>& outcomes, SurrogateAudit& audit) const {
+    const std::vector<SessionPlan>& plans,
+    std::vector<RequestOutcome>& outcomes,
+    std::vector<std::vector<StepCost>>& step_costs,
+    SurrogateAudit& audit) const {
   // NOVA's service time is input-independent (a wave completes when the
   // full tagged flit train has broadcast, regardless of the data values),
   // so pricing is memoized per distinct shape; only the distinct set ever
-  // touches a pricing path.
-  std::map<ShapeKey, std::vector<int>> groups;
-  for (const auto& req : requests) {
-    groups[ShapeKey{req.workload, req.seq_len, req.function, req.breakpoints,
-                    req.phase, req.kv_len}]
-        .push_back(req.id);
+  // touches a pricing path. The set spans every SESSION STEP: decode
+  // steps are ordinary per-kv_len shapes of the request's pricing class
+  // (exactly what the surrogate's per-class curves interpolate), and all
+  // chunks of a prefill share its one full-sequence shape -- so a stream
+  // of classic single-step requests yields the same distinct set (and the
+  // same hybrid reconciliation sample) as the pre-session scheduler.
+  std::map<ShapeKey, std::size_t> shape_slot;
+  for (const auto& plan : plans) {
+    for (const auto& step : plan.steps) shape_slot.emplace(step.shape, 0);
   }
   std::vector<ShapeKey> distinct;
-  distinct.reserve(groups.size());
-  for (const auto& group : groups) distinct.push_back(group.first);
+  distinct.reserve(shape_slot.size());
+  for (auto& entry : shape_slot) {
+    entry.second = distinct.size();
+    distinct.push_back(entry.first);
+  }
 
   // Pre-warm every PWL table the stream needs on this thread: training is
   // expensive and PwlLibrary::get serializes it, so warming first keeps
@@ -176,40 +267,55 @@ void BatchScheduler::price_requests(
     }
   }
 
-  for (std::size_t t = 0; t < distinct.size(); ++t) {
-    for (const int id : groups[distinct[t]]) {
-      auto& outcome = outcomes[static_cast<std::size_t>(id)];
-      outcome.request = requests[static_cast<std::size_t>(id)];
-      outcome.approx_ops = costs[t].approx_ops;
-      outcome.service_cycles =
-          static_cast<sim::Cycle>(std::llround(costs[t].service_cycles));
-      outcome.wave_latency_cycles = costs[t].wave_latency_cycles;
-      outcome.service_us = costs[t].service_cycles / config_.nova.accel_freq_mhz;
+  // Fold the shape costs into per-step dispatch costs and per-request
+  // aggregates. A single-step plan with share 1.0 reproduces the
+  // pre-session outcome fields bit for bit (1.0 * x == x).
+  const double freq = config_.nova.accel_freq_mhz;
+  step_costs.assign(requests.size(), {});
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& plan = plans[i];
+    auto& outcome = outcomes[i];
+    outcome.request = requests[i];
+    auto& steps = step_costs[i];
+    steps.reserve(plan.steps.size());
+    double cycles = 0.0;
+    std::int64_t ops = 0;
+    const ShapeKey* prev = nullptr;
+    for (const auto& step : plan.steps) {
+      const ShapeCost& cost = costs[shape_slot.find(step.shape)->second];
+      StepCost sc;
+      sc.service_cycles = step.share * cost.service_cycles;
+      sc.wave_latency_cycles = cost.wave_latency_cycles;
+      sc.service_us = sc.service_cycles / freq;
+      steps.push_back(sc);
+      cycles += sc.service_cycles;
+      // One inference runs each shape's ops once however it is sliced:
+      // chunks of a prefill share its shape (count it once), decode steps
+      // are all distinct kv_lens (each counts).
+      if (prev == nullptr || !(*prev == step.shape)) ops += cost.approx_ops;
+      prev = &step.shape;
     }
+    outcome.approx_ops = ops;
+    outcome.service_cycles =
+        static_cast<sim::Cycle>(std::llround(cycles));
+    outcome.service_us = cycles / freq;
+    outcome.wave_latency_cycles =
+        costs[shape_slot.find(plan.steps.front().shape)->second]
+            .wave_latency_cycles;
+    outcome.session_steps = plan.total_steps();
+    outcome.prefill_chunks = plan.prefill_chunks;
   }
 }
 
-ServeReport BatchScheduler::run(
-    const std::vector<InferenceRequest>& requests) const {
-  validate_stream(requests);
-  ServeReport report;
-  report.outcomes.resize(requests.size());
-  report.instances.resize(static_cast<std::size_t>(config_.instances));
-  report.surrogate.mode = config_.pricing;
-  report.surrogate.tolerance = config_.surrogate_tol;
-  if (requests.empty()) return report;
-
-  // Phase 1: price every request (exact, surrogate, or hybrid mode).
-  price_requests(requests, report.outcomes, report.surrogate);
-
-  // Phase 2: deterministic event-driven dispatch. The pending set replays
-  // arrival order exactly until a fault re-queues something; from then on
-  // retries merge back by (ready time, id), still a pure function of the
-  // inputs. With an empty FaultPlan and default FailurePolicy no branch
+double BatchScheduler::dispatch_whole(
+    const std::vector<InferenceRequest>& requests, ServeReport& report) const {
+  // Deterministic event-driven dispatch. The pending set replays arrival
+  // order exactly until a fault re-queues something; from then on retries
+  // merge back by (ready time, id), still a pure function of the inputs.
+  // With an empty FaultPlan and default FailurePolicy no fault branch
   // below fires and the loop is byte-identical to the pre-fault FIFO walk.
   std::vector<double> free_at(static_cast<std::size_t>(config_.instances),
                               0.0);
-  auto& latency_hist = report.stats.histogram("serve.latency_us");
   auto& batch_hist = report.stats.histogram("serve.batch_size");
   const sim::StatId id_batches = report.stats.counter_id("serve.batches");
   const sim::StatId id_requests = report.stats.counter_id("serve.requests");
@@ -221,6 +327,7 @@ ServeReport BatchScheduler::run(
   for (const auto& req : requests) {
     queue.insert(Pending{req.arrival_us, req.id, 1});
   }
+  AvailabilityHeap avail_heap(faults, free_at);
 
   int batch_id = 0;
   double last_finish = 0.0;
@@ -233,17 +340,10 @@ ServeReport BatchScheduler::run(
     // index). Availability is the instance's free time pushed past any
     // outage window it lands in; with no faults this is plain free_at and
     // the choice matches the pre-fault argmin exactly.
-    std::size_t instance = 0;
-    double avail = faults.next_up_us(0, free_at[0]);
-    for (std::size_t j = 1; j < free_at.size(); ++j) {
-      const double a = faults.next_up_us(static_cast<int>(j), free_at[j]);
-      if (a < avail) {
-        instance = j;
-        avail = a;
-      }
-    }
+    const auto [avail, instance_index] = avail_heap.peek_min();
+    const auto instance = static_cast<std::size_t>(instance_index);
     const double start = faults.next_up_us(
-        static_cast<int>(instance), std::max(avail, head.ready_us));
+        instance_index, std::max(avail, head.ready_us));
     const double wait_us = start - head_req.arrival_us;
 
     // Admission control on the head of the line. Overload shedding drops
@@ -298,7 +398,7 @@ ServeReport BatchScheduler::run(
       }
     }
     service_us = std::max(service_us, cycle_us);
-    service_us *= faults.slowdown_at(static_cast<int>(instance), start);
+    service_us *= faults.slowdown_at(instance_index, start);
     const double finish = start + service_us;
 
     for (const auto& member : batch) {
@@ -310,8 +410,8 @@ ServeReport BatchScheduler::run(
     // lost, members retry after capped exponential backoff (or fail for
     // good once their attempts are spent), and the instance sits out the
     // window before taking new work.
-    if (const auto failed_at = faults.outage_in(static_cast<int>(instance),
-                                                start, finish)) {
+    if (const auto failed_at =
+            faults.outage_in(instance_index, start, finish)) {
       for (const auto& member : batch) {
         auto& outcome = report.outcomes[static_cast<std::size_t>(member.id)];
         if (member.attempt > policy.max_retries) {
@@ -329,6 +429,7 @@ ServeReport BatchScheduler::run(
       inst.failed_batches += 1;
       inst.busy_us += *failed_at - start;
       free_at[instance] = *failed_at;
+      avail_heap.refresh(instance_index);
       ++batch_id;
       continue;
     }
@@ -336,11 +437,12 @@ ServeReport BatchScheduler::run(
     for (const auto& member : batch) {
       auto& outcome = report.outcomes[static_cast<std::size_t>(member.id)];
       const auto& req = requests[static_cast<std::size_t>(member.id)];
-      outcome.instance = static_cast<int>(instance);
+      outcome.instance = instance_index;
       outcome.batch_id = batch_id;
       outcome.batch_size = batch_size;
       outcome.start_us = start;
       outcome.finish_us = finish;
+      outcome.first_finish_us = finish;  // the whole session is one step
       outcome.attempts = member.attempt;
       if (req.has_deadline() && finish > req.arrival_us + req.deadline_us) {
         outcome.status = RequestStatus::kDeadlineMiss;
@@ -358,15 +460,364 @@ ServeReport BatchScheduler::run(
     report.stats.bump(id_requests, static_cast<std::uint64_t>(batch_size));
 
     free_at[instance] = finish;
+    avail_heap.refresh(instance_index);
     last_finish = std::max(last_finish, finish);
     ++batch_id;
   }
+  return last_finish;
+}
+
+double BatchScheduler::dispatch_continuous(
+    const std::vector<InferenceRequest>& requests,
+    const std::vector<SessionPlan>& plans,
+    const std::vector<std::vector<StepCost>>& step_costs,
+    ServeReport& report) const {
+  // The step-clocked event loop. Scheduler-side session state: a session
+  // pins to the instance that completes its first step (the KV cache
+  // lives in that instance's memory) and every later step dispatches
+  // there; unpinned sessions (none of their steps succeeded yet) may
+  // start anywhere with a free session slot. Each iteration chooses the
+  // step that can START earliest across the fleet -- among each
+  // instance's pinned queue head and the global FIFO head of
+  // not-yet-started sessions -- breaking start-time ties toward the
+  // oldest (ready_us, id) step, so backlogged prefills cannot be starved
+  // by decode trains and running sessions cannot be starved by arrivals
+  // (the slot cap bounds how many sessions interleave per instance).
+  struct Session {
+    int next_step = 0;  ///< completed steps == index of the pending step
+    int instance = -1;  ///< pinned instance; -1 until a step completes
+    int retries = 0;    ///< retries spent across the session so far
+    double start_us = 0.0;         ///< first successful dispatch
+    double first_finish_us = 0.0;  ///< finish of step 0
+  };
+  const auto n = requests.size();
+  std::vector<Session> sessions(n);
+  std::vector<double> free_at(static_cast<std::size_t>(config_.instances),
+                              0.0);
+  std::vector<int> slots_used(static_cast<std::size_t>(config_.instances), 0);
+  const int slot_cap = config_.max_batch;
+
+  auto& batch_hist = report.stats.histogram("serve.batch_size");
+  const sim::StatId id_batches = report.stats.counter_id("serve.batches");
+  const sim::StatId id_requests = report.stats.counter_id("serve.requests");
+  const sim::StatId id_steps = report.stats.counter_id("serve.steps");
+  const sim::StatId id_preempted =
+      report.stats.counter_id("serve.preempted_steps");
+  const double cycle_us = 1.0 / config_.nova.accel_freq_mhz;
+  const FaultPlan& faults = config_.faults;
+  const FailurePolicy& policy = config_.policy;
+
+  // Ready steps: per-instance queues of pinned sessions' next steps, one
+  // global queue of sessions that have not completed a step yet.
+  std::vector<std::set<Pending>> pinned_q(
+      static_cast<std::size_t>(config_.instances));
+  std::set<Pending> new_q;
+  for (const auto& req : requests) {
+    new_q.insert(Pending{req.arrival_us, req.id, 1});
+  }
+  AvailabilityHeap avail_heap(faults, free_at);
+
+  // Dispatch candidates as (start_us, head ready_us, head id, instance):
+  // lexicographic min = earliest start, ties to the oldest step. One
+  // entry per instance with a nonempty pinned queue, maintained by
+  // refresh_pinned after every dispatch on that instance (nothing else
+  // moves free_at or the pinned queues, so entries are never stale).
+  using Candidate = std::tuple<double, double, int, int>;
+  std::set<Candidate> pinned_cands;
+  std::vector<std::optional<Candidate>> pinned_entry(
+      static_cast<std::size_t>(config_.instances));
+  const auto refresh_pinned = [&](int j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (pinned_entry[js]) {
+      pinned_cands.erase(*pinned_entry[js]);
+      pinned_entry[js].reset();
+    }
+    if (!pinned_q[js].empty()) {
+      const Pending& head = *pinned_q[js].begin();
+      const double avail = faults.next_up_us(j, free_at[js]);
+      const double start =
+          faults.next_up_us(j, std::max(avail, head.ready_us));
+      pinned_entry[js] = Candidate{start, head.ready_us, head.id, j};
+      pinned_cands.insert(*pinned_entry[js]);
+    }
+  };
+
+  const auto step_of = [&](int id) -> const SessionStep& {
+    const auto& plan = plans[static_cast<std::size_t>(id)];
+    return plan.steps[static_cast<std::size_t>(
+        sessions[static_cast<std::size_t>(id)].next_step)];
+  };
+
+  // Terminal outcomes (completed, shed, failed) decrement; every live
+  // session owns exactly one Pending entry, so live == 0 <=> queues empty.
+  std::size_t live = n;
+  int batch_id = 0;
+  double last_finish = 0.0;
+  while (live > 0) {
+    // Candidate A: the FIFO head of not-yet-started sessions on the
+    // earliest-available instance with a free session slot.
+    std::optional<Candidate> cand_new;
+    if (!new_q.empty()) {
+      const auto found = avail_heap.peek_min_where([&](int j) {
+        return slots_used[static_cast<std::size_t>(j)] < slot_cap;
+      });
+      if (found) {
+        const Pending& head = *new_q.begin();
+        const double start = faults.next_up_us(
+            found->second, std::max(found->first, head.ready_us));
+        cand_new = Candidate{start, head.ready_us, head.id, found->second};
+      }
+    }
+    // Candidate B: the earliest-starting pinned queue head. At least one
+    // candidate always exists: either a session slot is free somewhere
+    // (candidate A) or some session holds a slot, and a slot-holding
+    // session always has its next step pending in its pinned queue.
+    const bool use_new =
+        cand_new &&
+        (pinned_cands.empty() || *cand_new < *pinned_cands.begin());
+    const Candidate chosen =
+        use_new ? *cand_new : *pinned_cands.begin();
+    const int instance_index = std::get<3>(chosen);
+    const auto instance = static_cast<std::size_t>(instance_index);
+    const double start = std::get<0>(chosen);
+    const Pending head =
+        use_new ? *new_q.begin() : *pinned_q[instance].begin();
+    const auto& head_req = requests[static_cast<std::size_t>(head.id)];
+    auto& head_outcome = report.outcomes[static_cast<std::size_t>(head.id)];
+
+    // Admission control runs once per session, on its first step (any
+    // attempt of it) -- exactly the whole-request policy surface. Once a
+    // session has state on an instance, shedding it would throw the
+    // completed steps away; it runs to completion or to kFailed.
+    if (use_new) {
+      const double wait_us = start - head_req.arrival_us;
+      if (should_shed_overload(policy, wait_us, head_req.has_deadline(),
+                               head.attempt) ||
+          (policy.shed_on_deadline && head_req.has_deadline() &&
+           start + head_outcome.service_us >
+               head_req.arrival_us + head_req.deadline_us)) {
+        head_outcome.status = RequestStatus::kShed;
+        head_outcome.attempts = head.attempt;
+        new_q.erase(new_q.begin());
+        live -= 1;
+        continue;
+      }
+    }
+    const double wait_us =
+        start - (use_new ? head_req.arrival_us : head.ready_us);
+
+    // Fuse ready steps behind the head: merge-scan both queues in
+    // (ready_us, id) order, taking steps that share the head step's PWL
+    // table AND phase (chunks fuse with chunks, decode steps with decode
+    // steps) and -- unlike the whole-request FIFO run -- SKIPPING
+    // mismatches, since step order inside one instant carries no FIFO
+    // meaning at iteration granularity. Not-yet-started sessions fuse in
+    // only while slots remain, and claim theirs on success.
+    const int cap = degraded_max_batch(policy, config_.max_batch, wait_us);
+    const SessionStep& head_step = step_of(head.id);
+    std::vector<Pending> batch{head};
+    std::vector<bool> is_new{use_new};
+    int free_slots = slots_used[instance] < slot_cap
+                         ? slot_cap - slots_used[instance]
+                         : 0;
+    if (use_new) free_slots -= 1;  // the head claims its slot on success
+    auto pit = pinned_q[instance].begin();
+    auto nit = new_q.begin();
+    while (static_cast<int>(batch.size()) < cap) {
+      while (pit != pinned_q[instance].end() && pit->id == head.id) ++pit;
+      while (nit != new_q.end() && nit->id == head.id) ++nit;
+      const bool p_ok =
+          pit != pinned_q[instance].end() && pit->ready_us <= start;
+      const bool n_ok = nit != new_q.end() && nit->ready_us <= start;
+      if (!p_ok && !n_ok) break;
+      const bool take_pinned = p_ok && (!n_ok || *pit < *nit);
+      const Pending cand = take_pinned ? *pit : *nit;
+      if (take_pinned) {
+        ++pit;
+      } else {
+        ++nit;
+      }
+      const SessionStep& cstep = step_of(cand.id);
+      if (cstep.shape.function != head_step.shape.function ||
+          cstep.shape.breakpoints != head_step.shape.breakpoints ||
+          cstep.phase() != head_step.phase()) {
+        continue;
+      }
+      if (!take_pinned) {
+        if (free_slots <= 0) continue;
+        free_slots -= 1;
+      }
+      batch.push_back(cand);
+      is_new.push_back(!take_pinned);
+    }
+    const int batch_size = static_cast<int>(batch.size());
+
+    // Step-batch service: same fusion economics as whole-request dispatch
+    // (members after the first save their pipeline fill), over per-step
+    // costs instead of per-request ones.
+    double service_us = 0.0;
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const auto& member = batch[k];
+      const StepCost& cost =
+          step_costs[static_cast<std::size_t>(member.id)][static_cast<
+              std::size_t>(
+              sessions[static_cast<std::size_t>(member.id)].next_step)];
+      service_us += cost.service_us;
+      if (k != 0) {
+        service_us -= std::max(0, cost.wave_latency_cycles - 1) * cycle_us;
+      }
+    }
+    service_us = std::max(service_us, cycle_us);
+    service_us *= faults.slowdown_at(instance_index, start);
+    const double finish = start + service_us;
+
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (is_new[k]) {
+        new_q.erase(batch[k]);
+      } else {
+        pinned_q[instance].erase(batch[k]);
+      }
+    }
+    auto& inst = report.instances[instance];
+
+    // An outage window opening mid-service preempts every step in flight:
+    // only THIS step's work is lost -- a pinned session keeps its
+    // completed steps (its KV cache survives the window on the instance)
+    // and re-queues just the killed step after backoff, which is where
+    // continuous batching's goodput-under-faults win comes from.
+    if (const auto failed_at =
+            faults.outage_in(instance_index, start, finish)) {
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        const auto& member = batch[k];
+        const auto ms = static_cast<std::size_t>(member.id);
+        auto& sess = sessions[ms];
+        auto& outcome = report.outcomes[ms];
+        report.stats.bump(id_preempted);
+        if (member.attempt > policy.max_retries) {
+          outcome.status = RequestStatus::kFailed;
+          outcome.attempts = sess.retries + member.attempt;
+          if (sess.instance >= 0) {
+            slots_used[static_cast<std::size_t>(sess.instance)] -= 1;
+          }
+          live -= 1;
+        } else {
+          const double backoff_us = retry_backoff_us(
+              policy, member.attempt, member.id, config_.seed);
+          report.stats.sample("serve.backoff_us", backoff_us);
+          report.stats.bump("serve.retries");
+          const Pending retry{*failed_at + backoff_us, member.id,
+                              member.attempt + 1};
+          if (sess.instance >= 0) {
+            pinned_q[instance].insert(retry);
+          } else {
+            new_q.insert(retry);
+          }
+        }
+      }
+      inst.failed_batches += 1;
+      inst.busy_us += *failed_at - start;
+      free_at[instance] = *failed_at;
+      avail_heap.refresh(instance_index);
+      refresh_pinned(instance_index);
+      ++batch_id;
+      continue;
+    }
+
+    int completed = 0;
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const auto& member = batch[k];
+      const auto ms = static_cast<std::size_t>(member.id);
+      auto& sess = sessions[ms];
+      auto& outcome = report.outcomes[ms];
+      const auto& req = requests[ms];
+      if (sess.next_step == 0) sess.start_us = start;
+      sess.retries += member.attempt - 1;
+      if (sess.instance < 0) {
+        sess.instance = instance_index;
+        slots_used[instance] += 1;
+      }
+      sess.next_step += 1;
+      if (sess.next_step == 1) sess.first_finish_us = finish;
+      report.stats.bump(id_steps);
+      if (sess.next_step >=
+          plans[ms].total_steps()) {  // session complete
+        slots_used[instance] -= 1;
+        completed += 1;
+        live -= 1;
+        outcome.instance = instance_index;
+        outcome.batch_id = batch_id;
+        outcome.batch_size = batch_size;
+        outcome.start_us = sess.start_us;
+        outcome.finish_us = finish;
+        outcome.first_finish_us = sess.first_finish_us;
+        outcome.attempts = sess.retries + 1;
+        if (req.has_deadline() &&
+            finish > req.arrival_us + req.deadline_us) {
+          outcome.status = RequestStatus::kDeadlineMiss;
+        } else if (outcome.attempts > 1) {
+          outcome.status = RequestStatus::kRetried;
+        } else {
+          outcome.status = RequestStatus::kOk;
+        }
+      } else {
+        // The next step becomes ready the instant this one finishes.
+        pinned_q[instance].insert(Pending{finish, member.id, 1});
+      }
+    }
+    inst.requests += completed;
+    inst.batches += 1;
+    inst.busy_us += service_us;
+    batch_hist.record(static_cast<double>(batch_size));
+    report.stats.bump(id_batches);
+    report.stats.bump(id_requests, static_cast<std::uint64_t>(completed));
+
+    free_at[instance] = finish;
+    avail_heap.refresh(instance_index);
+    refresh_pinned(instance_index);
+    last_finish = std::max(last_finish, finish);
+    ++batch_id;
+  }
+  return last_finish;
+}
+
+ServeReport BatchScheduler::run(
+    const std::vector<InferenceRequest>& requests) const {
+  validate_stream(requests);
+  ServeReport report;
+  report.outcomes.resize(requests.size());
+  report.instances.resize(static_cast<std::size_t>(config_.instances));
+  report.surrogate.mode = config_.pricing;
+  report.surrogate.tolerance = config_.surrogate_tol;
+  if (requests.empty()) return report;
+
+  // The step decomposition of every request: one chunk + its decode chain
+  // under whole-request dispatch, chunked under continuous batching.
+  std::vector<SessionPlan> plans;
+  plans.reserve(requests.size());
+  for (const auto& req : requests) {
+    plans.push_back(
+        build_session_plan(req, config_.continuous, config_.chunk_tokens));
+  }
+
+  // Phase 1: price every session step (exact, surrogate, or hybrid mode).
+  std::vector<std::vector<StepCost>> step_costs;
+  price_requests(requests, plans, report.outcomes, step_costs,
+                 report.surrogate);
+
+  // Phase 2: serial deterministic dispatch, whole-request or step-clocked.
+  auto& latency_hist = report.stats.histogram("serve.latency_us");
+  const double last_finish =
+      config_.continuous
+          ? dispatch_continuous(requests, plans, step_costs, report)
+          : dispatch_whole(requests, report);
 
   // Aggregates, in request order for determinism. Latency and service
   // samples cover served requests only (shed/failed outcomes never
   // finished -- recording their zeros would drag every percentile down);
   // unserved outcomes have their service-side fields zeroed to enforce the
   // RequestOutcome unserved contract.
+  sim::Histogram* ttft_hist =
+      config_.continuous ? &report.stats.histogram("serve.ttft_us") : nullptr;
   std::uint64_t served = 0;
   for (auto& outcome : report.outcomes) {
     if (outcome.served()) {
@@ -374,12 +825,17 @@ ServeReport BatchScheduler::run(
       latency_hist.record(outcome.latency_us());
       report.stats.sample("serve.service_us", outcome.service_us);
       report.stats.sample("serve.queue_us", outcome.queue_us());
+      if (ttft_hist != nullptr) {
+        ttft_hist->record(outcome.first_finish_us -
+                          outcome.request.arrival_us);
+      }
     } else {
       outcome.service_cycles = 0;
       outcome.wave_latency_cycles = 0;
       outcome.service_us = 0.0;
       outcome.start_us = 0.0;
       outcome.finish_us = 0.0;
+      outcome.first_finish_us = 0.0;
     }
     report.stats.sample("serve.attempts",
                         static_cast<double>(outcome.attempts));
@@ -402,9 +858,8 @@ ServeReport BatchScheduler::run(
   for (std::size_t j = 0; j < report.instances.size(); ++j) {
     auto& inst = report.instances[j];
     if (report.makespan_us > 0.0) {
-      inst.down_us = faults.downtime_in(static_cast<int>(j),
-                                        requests.front().arrival_us,
-                                        last_finish);
+      inst.down_us = config_.faults.downtime_in(
+          static_cast<int>(j), requests.front().arrival_us, last_finish);
       inst.availability =
           std::max(0.0, 1.0 - inst.down_us / report.makespan_us);
     }

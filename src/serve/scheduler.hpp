@@ -30,13 +30,34 @@
 //      PwlLibrary::get is additionally mutex-guarded).
 //
 //   2. Dispatch (serial, deterministic): an event-driven loop assigns
-//      ready requests FIFO to the earliest-available instance. When an
+//      ready requests FIFO to the earliest-available instance (tracked in
+//      a lazily-revalidated (next_free_us, instance) min-heap). When an
 //      instance picks up work it fuses up to max_batch already-ready
 //      consecutive requests that share a PWL table (function +
 //      breakpoints) AND a phase into one dispatch: fused waves reuse the
 //      broadcast flit train back-to-back, so each extra member saves the
 //      pipeline-fill latency of its first wave (the overlap credit below).
 //      Prefill and decode requests never fuse -- they share no wave shape.
+//
+//      Continuous batching (config.continuous): dispatch happens at STEP
+//      granularity instead (Orca/Sarathi-style iteration-level
+//      scheduling). Each request's session plan (serve/session.hpp) --
+//      prefill chunks plus a kv-growing decode chain -- feeds a
+//      step-clocked event loop: a session pins to the instance that
+//      completes its first step (its KV cache lives there), later steps
+//      become ready the moment the previous one finishes, and each
+//      iteration the earliest-startable step wins the dispatch (ties to
+//      the oldest step), with other ready steps of the same phase/table
+//      fusing in. New sessions are admitted only while the instance has a
+//      free session slot (max_batch concurrent sessions per instance),
+//      which bounds interleaving so neither admissions nor running
+//      sessions starve. An outage kills only the in-flight step: the
+//      session keeps its completed steps (the KV cache survives on the
+//      pinned instance) and retries just that step after backoff --
+//      whole-request dispatch, by contrast, loses the entire request.
+//      Admission control (deadline/overload shedding) runs once per
+//      session, at its first step; the per-step retry budget is
+//      policy.max_retries.
 //
 //      Failure awareness (config.faults + config.policy): dispatch skips
 //      instances inside an outage window; a batch whose instance fails
@@ -62,6 +83,7 @@
 #include "serve/faults.hpp"
 #include "serve/policy.hpp"
 #include "serve/request.hpp"
+#include "serve/session.hpp"
 #include "serve/surrogate.hpp"
 #include "sim/stats.hpp"
 
@@ -107,24 +129,36 @@ struct ServeConfig {
   /// Retry/backoff, deadline-shedding, and overload-degradation policy
   /// (see policy.hpp). Validated eagerly by the constructor.
   FailurePolicy policy;
+  /// Continuous batching: dispatch at step granularity (sessions advance
+  /// one kv-growing decode step per dispatch, prefills split into
+  /// chunk_tokens-sized chunks) instead of whole requests. Off by
+  /// default; the whole-request path is bit-identical to the pre-session
+  /// scheduler.
+  bool continuous = false;
+  /// Prefill chunk size in prompt tokens under continuous batching; a
+  /// prefill of seq_len S becomes ceil(S / chunk_tokens) dispatches.
+  int chunk_tokens = 64;
 };
 
 /// Where and when one request was served -- or why it was not.
 ///
 /// Unserved contract: outcomes whose status is kShed or kFailed were never
-/// serviced, and every service-side field stays at its zero default --
-/// instance == -1, batch_id == -1, service_cycles == 0, service_us ==
-/// start_us == finish_us == 0.0 (enforced by the scheduler, not merely
-/// documented; shed requests are priced for the admission projection but
-/// the price is not part of their outcome). Aggregate consumers must
-/// filter on served() rather than probing instance == -1.
+/// serviced to completion, and every service-side field stays at its zero
+/// default -- instance == -1, batch_id == -1, service_cycles == 0,
+/// service_us == start_us == finish_us == first_finish_us == 0.0
+/// (enforced by the scheduler, not merely documented; shed requests are
+/// priced for the admission projection but the price is not part of their
+/// outcome). Aggregate consumers must filter on served() rather than
+/// probing instance == -1. session_steps / prefill_chunks describe the
+/// plan, not the service, and survive the zeroing.
 struct RequestOutcome {
   InferenceRequest request;
   /// Terminal status; kOk/kRetried/kDeadlineMiss outcomes were served to
   /// completion, kShed/kFailed never were (see the unserved contract).
   RequestStatus status = RequestStatus::kOk;
-  /// Dispatch attempts made (1 = served first try; a shed request records
-  /// the attempt it was shed on, a failed one max_retries + 1).
+  /// Dispatch attempts made: 1 + every retry any step of the session
+  /// spent (1 = served first try; a shed request records the attempt it
+  /// was shed on, a failed single-step request max_retries + 1).
   int attempts = 1;
   int instance = -1;
   int batch_id = -1;
@@ -137,8 +171,19 @@ struct RequestOutcome {
   sim::Cycle service_cycles = 0;
   int wave_latency_cycles = 0;
   double service_us = 0.0;
-  double start_us = 0.0;   ///< dispatch time of the containing batch
-  double finish_us = 0.0;  ///< completion of the containing batch
+  double start_us = 0.0;   ///< first (successful) dispatch of the session
+  double finish_us = 0.0;  ///< completion of the session's last step
+  /// Steps in this request's session plan: prefill chunks + decode steps,
+  /// 1 for a classic single-step request. A plan property (set by
+  /// pricing), so it survives the unserved zeroing.
+  int session_steps = 1;
+  /// Chunks the prefill split into (0 for decode-phase requests); also a
+  /// plan property.
+  int prefill_chunks = 0;
+  /// Completion of the session's first step -- the time-to-first-token
+  /// proxy under continuous batching. Equals finish_us for
+  /// single-dispatch sessions; zeroed when unserved.
+  double first_finish_us = 0.0;
 
   /// True when the request completed service (kOk/kRetried/kDeadlineMiss).
   [[nodiscard]] bool served() const {
@@ -218,9 +263,26 @@ class BatchScheduler {
       const std::vector<InferenceRequest>& requests) const;
 
  private:
+  /// Prices every distinct step shape across all session plans and folds
+  /// the results into per-request aggregates (outcomes) and per-step
+  /// dispatch costs (step_costs, indexed like each plan's steps).
   void price_requests(const std::vector<InferenceRequest>& requests,
+                      const std::vector<SessionPlan>& plans,
                       std::vector<RequestOutcome>& outcomes,
+                      std::vector<std::vector<StepCost>>& step_costs,
                       SurrogateAudit& audit) const;
+
+  /// Whole-request dispatch (continuous off): the classic FIFO loop, bit
+  /// identical to the pre-session scheduler. Returns the last finish time.
+  double dispatch_whole(const std::vector<InferenceRequest>& requests,
+                        ServeReport& report) const;
+
+  /// Step-clocked continuous-batching dispatch. Returns the last finish.
+  double dispatch_continuous(
+      const std::vector<InferenceRequest>& requests,
+      const std::vector<SessionPlan>& plans,
+      const std::vector<std::vector<StepCost>>& step_costs,
+      ServeReport& report) const;
 
   ServeConfig config_;
 };

@@ -108,9 +108,10 @@ TEST(Trace, RejectsMalformedLines) {
     EXPECT_NE(error.find("unknown phase"), std::string::npos);
   }
   {
-    // An eighth column is the deadline; a ninth is malformed outright.
+    // An eighth column is the deadline, a ninth the generation steps; a
+    // tenth is malformed outright.
     std::istringstream in(
-        "1.0, bert-tiny, gelu, 64, 16, decode, 256, 9, 1\n");
+        "1.0, bert-tiny, gelu, 64, 16, decode, 256, 9, 1, 7\n");
     EXPECT_FALSE(parse_trace(in, requests, error));
     EXPECT_NE(error.find("expected"), std::string::npos);
   }
@@ -238,6 +239,93 @@ TEST(Trace, RejectsIncoherentPhaseKvLen) {
     std::istringstream in("1.0, bert-tiny, gelu, 1, 16, decode, abc\n");
     EXPECT_FALSE(parse_trace(in, requests, error));
     EXPECT_NE(error.find("malformed number"), std::string::npos);
+  }
+}
+
+TEST(Trace, ParsesStepsColumn) {
+  // The optional ninth column is the TOTAL generation length: a prefill
+  // line decodes that many tokens after the prompt, a decode line's own
+  // step counts toward it (so steps-1 further tokens follow).
+  std::istringstream in(
+      "1.0, bert-tiny, gelu, 128, 16, prefill, 0, 0, 4\n"
+      "2.0, bert-mini, exp, 1, 16, decode, 768, 0, 3\n"
+      "3.0, bert-tiny, gelu, 64, 16, prefill, 0, 0, 0\n"
+      "4.0, bert-tiny, gelu, 1, 16, decode, 32, 0, 1\n");
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  ASSERT_TRUE(parse_trace(in, requests, error)) << error;
+  ASSERT_EQ(requests.size(), 4u);
+  EXPECT_EQ(requests[0].gen_steps, 4);  // prefill: 4 decoded tokens follow
+  EXPECT_EQ(requests[1].gen_steps, 2);  // decode: 2 MORE after its own
+  EXPECT_EQ(requests[2].gen_steps, 0);  // prefill-only, no generation
+  EXPECT_EQ(requests[3].gen_steps, 0);  // single decode step, nothing more
+}
+
+TEST(Trace, RejectsIncoherentSteps) {
+  std::vector<InferenceRequest> requests;
+  std::string error;
+  {
+    // A decode request IS one generation step, so steps == 0 contradicts
+    // the line's own existence.
+    std::istringstream in("1.0, bert-tiny, gelu, 1, 16, decode, 32, 0, 0\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("steps"), std::string::npos);
+  }
+  {
+    std::istringstream in(
+        "1.0, bert-tiny, gelu, 64, 16, prefill, 0, 0, -2\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("steps"), std::string::npos);
+  }
+  {
+    // Beyond kMaxGenSteps a session plan would be absurdly long.
+    std::istringstream in("1.0, bert-tiny, gelu, 64, 16, prefill, 0, 0, " +
+                          std::to_string(kMaxGenSteps + 1) + "\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("steps"), std::string::npos);
+  }
+  {
+    std::istringstream in(
+        "1.0, bert-tiny, gelu, 64, 16, prefill, 0, 0, 1x\n");
+    EXPECT_FALSE(parse_trace(in, requests, error));
+    EXPECT_NE(error.find("malformed number"), std::string::npos);
+  }
+}
+
+TEST(RequestGenerator, MaxStepsDrawsBoundedGenerationLengths) {
+  TrafficProfile profile;
+  profile.max_steps = 8;
+  const auto requests = generate_poisson(400, profile, 23);
+  bool any_multi = false;
+  for (const auto& req : requests) {
+    if (req.phase == pipeline::Phase::kDecode) {
+      // The decode request's own step counts toward the drawn length.
+      EXPECT_GE(req.gen_steps, 0);
+      EXPECT_LE(req.gen_steps, 7);
+    } else {
+      EXPECT_GE(req.gen_steps, 1);
+      EXPECT_LE(req.gen_steps, 8);
+    }
+    any_multi |= req.gen_steps > 1;
+  }
+  EXPECT_TRUE(any_multi);
+}
+
+TEST(RequestGenerator, ZeroMaxStepsKeepsTheClassicStream) {
+  // max_steps == 0 must consume no randomness: the stream is
+  // field-for-field the one the pre-session generator produced.
+  TrafficProfile classic;
+  TrafficProfile stepped = classic;
+  stepped.max_steps = 0;
+  const auto a = generate_poisson(200, classic, 29);
+  const auto b = generate_poisson(200, stepped, 29);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_us, b[i].arrival_us);
+    EXPECT_EQ(a[i].seq_len, b[i].seq_len);
+    EXPECT_EQ(a[i].kv_len, b[i].kv_len);
+    EXPECT_EQ(a[i].phase, b[i].phase);
+    EXPECT_EQ(b[i].gen_steps, 0);
   }
 }
 
