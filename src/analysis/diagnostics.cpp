@@ -22,6 +22,7 @@ const char* to_string(CheckId check) {
     case CheckId::kStructUnreachable: return "structure.unreachable";
     case CheckId::kStructResourceClass: return "structure.resource-class";
     case CheckId::kStructVolume: return "structure.volume";
+    case CheckId::kStructFusedShape: return "structure.fused-shape";
     case CheckId::kPhaseKvLen: return "phase.kv-len";
     case CheckId::kPhaseCrossEdge: return "phase.cross-edge";
     case CheckId::kShapeConfig: return "shape.config";
@@ -30,6 +31,7 @@ const char* to_string(CheckId check) {
     case CheckId::kShapeSoftmax: return "shape.softmax";
     case CheckId::kShapeGelu: return "shape.gelu";
     case CheckId::kShapeLayernorm: return "shape.layernorm";
+    case CheckId::kShapeFused: return "shape.fused";
     case CheckId::kConserveMacs: return "conserve.macs";
     case CheckId::kConserveApproxOps: return "conserve.approx-ops";
     case CheckId::kConserveSoftmaxRows: return "conserve.softmax-rows";

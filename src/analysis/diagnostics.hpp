@@ -49,6 +49,11 @@ enum class CheckId {
                          ///< fabric repeat) -- silently ignored volume is a
                          ///< builder bug
   kStructVolume,         ///< structure.volume: non-positive per-kind volume
+  kStructFusedShape,     ///< structure.fused-shape: a fused node's internal
+                         ///< coherence invariants are broken (attention:
+                         ///< rows != repeat * m or row_len != n; gelu
+                         ///< epilogue: elements != m * n * repeat;
+                         ///< layernorm epilogue: rows != m)
 
   // phase pass
   kPhaseKvLen,      ///< phase.kv-len: decode graph without kv_len >= 1, or
@@ -64,6 +69,8 @@ enum class CheckId {
   kShapeSoftmax,    ///< shape.softmax: declared rows/row_len != re-derived
   kShapeGelu,       ///< shape.gelu: declared elements != re-derived
   kShapeLayernorm,  ///< shape.layernorm: declared rows != re-derived
+  kShapeFused,      ///< shape.fused: a fused node's declared volumes do not
+                    ///< match the canonical-chain constituents it replaces
 
   // conservation pass (config expansions only)
   kConserveMacs,           ///< conserve.macs

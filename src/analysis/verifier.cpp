@@ -98,6 +98,79 @@ void structure_pass(const OpGraph& graph, DiagnosticReport& report) {
                      "must be 0, repeat 1, row_len/elements 0)");
         }
         break;
+      // Fused nodes carry both resource classes; the internal coherence
+      // invariants below are what make one node an honest stand-in for the
+      // sub-chain it replaced (anything else is a rewrite bug, caught here
+      // without needing a config to re-derive from).
+      case OpKind::kFusedAttention:
+        if (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1 ||
+            node.rows < 1 || node.row_len < 1) {
+          report.add(Severity::kError, CheckId::kStructVolume, graph, i,
+                     "fused attention volumes must be positive, got (" +
+                         i64(node.m) + " x " + i64(node.k) + " x " +
+                         i64(node.n) + ") x " + i64(node.repeat) + ", " +
+                         i64(node.rows) + " x " + i64(node.row_len));
+        }
+        if (node.elements != 0) {
+          report.add(Severity::kError, CheckId::kStructResourceClass, graph,
+                     i,
+                     "fused attention node carries GELU elements (must be "
+                     "0)");
+        }
+        if (node.rows != node.repeat * node.m || node.row_len != node.n) {
+          report.add(Severity::kError, CheckId::kStructFusedShape, graph, i,
+                     "fused attention incoherent: softmax must cover every "
+                     "(head, query) score row -- want rows == repeat * m (" +
+                         i64(node.repeat * node.m) + ") and row_len == n (" +
+                         i64(node.n) + "), got " + i64(node.rows) + " x " +
+                         i64(node.row_len));
+        }
+        break;
+      case OpKind::kFusedGemmGelu:
+        if (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1 ||
+            node.elements < 1) {
+          report.add(Severity::kError, CheckId::kStructVolume, graph, i,
+                     "fused gemm+gelu volumes must be positive, got (" +
+                         i64(node.m) + " x " + i64(node.k) + " x " +
+                         i64(node.n) + ") x " + i64(node.repeat) + ", " +
+                         i64(node.elements) + " elements");
+        }
+        if (node.rows != 0 || node.row_len != 0) {
+          report.add(Severity::kError, CheckId::kStructResourceClass, graph,
+                     i,
+                     "fused gemm+gelu node carries softmax/layernorm rows "
+                     "(must be 0)");
+        }
+        if (node.elements != node.m * node.n * node.repeat) {
+          report.add(Severity::kError, CheckId::kStructFusedShape, graph, i,
+                     "fused gemm+gelu incoherent: epilogue must activate "
+                     "exactly the GEMM output -- want elements == m * n * "
+                     "repeat (" + i64(node.m * node.n * node.repeat) +
+                         "), got " + i64(node.elements));
+        }
+        break;
+      case OpKind::kFusedGemmLayerNorm:
+        if (node.m < 1 || node.k < 1 || node.n < 1 || node.repeat < 1 ||
+            node.rows < 1) {
+          report.add(Severity::kError, CheckId::kStructVolume, graph, i,
+                     "fused gemm+layernorm volumes must be positive, got (" +
+                         i64(node.m) + " x " + i64(node.k) + " x " +
+                         i64(node.n) + ") x " + i64(node.repeat) + ", " +
+                         i64(node.rows) + " rows");
+        }
+        if (node.row_len != 0 || node.elements != 0) {
+          report.add(Severity::kError, CheckId::kStructResourceClass, graph,
+                     i,
+                     "fused gemm+layernorm node carries softmax row_len / "
+                     "GELU elements (must be 0)");
+        }
+        if (node.rows != node.m) {
+          report.add(Severity::kError, CheckId::kStructFusedShape, graph, i,
+                     "fused gemm+layernorm incoherent: epilogue must "
+                     "normalize exactly the GEMM output rows -- want rows "
+                     "== m (" + i64(node.m) + "), got " + i64(node.rows));
+        }
+        break;
     }
 
     // Edges: in range (a dangling edge indexes a node that does not
@@ -305,24 +378,109 @@ void shape_pass(const OpGraph& graph, DiagnosticReport& report) {
                    " != config.layers " + i64(graph.config.layers));
   }
 
+  // The canonical chain is derived UNFUSED; a fused node consumes the
+  // expected entries of every constituent it replaced (attention: score
+  // GEMM + softmax + context GEMM; epilogues: GEMM + vector op). The walk
+  // is a cursor over the expected chain, so fused and unfused graphs are
+  // both pinned to the same independently derived ground truth.
   const auto expected = expected_chain(graph.config, q, a);
-  if (expected.size() != graph.nodes.size()) {
-    report.add(Severity::kError, CheckId::kShapeChain,
-               "canonical chain has " + i64(static_cast<std::int64_t>(
-                                               expected.size())) +
-                   " nodes, graph has " +
-                   i64(static_cast<std::int64_t>(graph.nodes.size())));
-  }
-
-  const std::size_t common = std::min(expected.size(), graph.nodes.size());
-  for (std::size_t i = 0; i < common; ++i) {
+  const auto consumed = [](OpKind kind) -> std::size_t {
+    switch (kind) {
+      case OpKind::kFusedAttention: return 3;
+      case OpKind::kFusedGemmGelu:
+      case OpKind::kFusedGemmLayerNorm: return 2;
+      default: return 1;
+    }
+  };
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
     const OpNode& node = graph.nodes[i];
-    const ExpectedNode& want = expected[i];
     const int idx = static_cast<int>(i);
+    const std::size_t need = consumed(node.kind);
+    if (cursor + need > expected.size()) {
+      report.add(Severity::kError, CheckId::kShapeChain, graph, idx,
+                 "graph extends past the canonical encoder chain (" +
+                     i64(static_cast<std::int64_t>(expected.size())) +
+                     " constituent ops)");
+      return;
+    }
+    const ExpectedNode& want = expected[cursor];
+    if (node.is_fused()) {
+      // The constituents a fused node stands in for must line up with the
+      // canonical chain kinds at the cursor; otherwise the rewrite fused
+      // something that is not there.
+      const bool aligned =
+          node.kind == OpKind::kFusedAttention
+              ? (want.kind == OpKind::kGemm &&
+                 expected[cursor + 1].kind == OpKind::kSoftmax &&
+                 expected[cursor + 2].kind == OpKind::kGemm)
+              : (want.kind == OpKind::kGemm &&
+                 expected[cursor + 1].kind ==
+                     (node.kind == OpKind::kFusedGemmGelu
+                          ? OpKind::kGelu
+                          : OpKind::kLayerNormScale));
+      if (!aligned) {
+        report.add(Severity::kError, CheckId::kShapeChain, graph, idx,
+                   std::string("fused node does not align with the "
+                               "canonical chain at '") +
+                       want.label + "'");
+        return;
+      }
+      // GEMM half vs the canonical head GEMM.
+      if (node.m != want.m || node.k != want.k || node.n != want.n ||
+          node.repeat != want.repeat) {
+        report.add(Severity::kError, CheckId::kShapeFused, graph, idx,
+                   "derived GEMM (" + i64(want.m) + " x " + i64(want.k) +
+                       " x " + i64(want.n) + ") x " + i64(want.repeat) +
+                       ", declared (" + i64(node.m) + " x " + i64(node.k) +
+                       " x " + i64(node.n) + ") x " + i64(node.repeat));
+      }
+      // Vector half vs the canonical epilogue / softmax.
+      switch (node.kind) {
+        case OpKind::kFusedAttention: {
+          const ExpectedNode& softmax = expected[cursor + 1];
+          const ExpectedNode& context = expected[cursor + 2];
+          if (node.rows != softmax.rows || node.row_len != softmax.row_len) {
+            report.add(Severity::kError, CheckId::kShapeFused, graph, idx,
+                       "derived softmax " + i64(softmax.rows) + " rows of " +
+                           i64(softmax.row_len) + " logits, declared " +
+                           i64(node.rows) + " x " + i64(node.row_len));
+          }
+          if (context.m != want.m || context.k != want.n ||
+              context.n != want.k || context.repeat != want.repeat) {
+            report.add(Severity::kError, CheckId::kShapeFused, graph, idx,
+                       "canonical context GEMM ('" +
+                           std::string(context.label) +
+                           "') is not the score GEMM's (m, n, k) "
+                           "permutation -- this chain is not fusable "
+                           "attention");
+          }
+          break;
+        }
+        case OpKind::kFusedGemmGelu:
+          if (node.elements != expected[cursor + 1].elements) {
+            report.add(Severity::kError, CheckId::kShapeFused, graph, idx,
+                       "derived " + i64(expected[cursor + 1].elements) +
+                           " activation elements, declared " +
+                           i64(node.elements));
+          }
+          break;
+        default:  // kFusedGemmLayerNorm
+          if (node.rows != expected[cursor + 1].rows) {
+            report.add(Severity::kError, CheckId::kShapeFused, graph, idx,
+                       "derived " + i64(expected[cursor + 1].rows) +
+                           " rsqrt rows, declared " + i64(node.rows));
+          }
+          break;
+      }
+      cursor += need;
+      continue;
+    }
     if (node.kind != want.kind) {
       report.add(Severity::kError, CheckId::kShapeChain, graph, idx,
                  std::string("expected a ") + pipeline::to_string(want.kind) +
                      " ('" + want.label + "') at this position");
+      ++cursor;
       continue;
     }
     if (node.label != want.label) {
@@ -357,7 +515,7 @@ void shape_pass(const OpGraph& graph, DiagnosticReport& report) {
                          i64(node.elements));
         }
         break;
-      case OpKind::kLayerNormScale:
+      default:  // kLayerNormScale (fused kinds handled above)
         if (node.rows != want.rows) {
           report.add(Severity::kError, CheckId::kShapeLayernorm, graph, idx,
                      "derived " + i64(want.rows) + " rsqrt rows, declared " +
@@ -365,6 +523,14 @@ void shape_pass(const OpGraph& graph, DiagnosticReport& report) {
         }
         break;
     }
+    ++cursor;
+  }
+  if (cursor != expected.size()) {
+    report.add(Severity::kError, CheckId::kShapeChain,
+               "canonical chain has " +
+                   i64(static_cast<std::int64_t>(expected.size())) +
+                   " constituent ops, graph covers " +
+                   i64(static_cast<std::int64_t>(cursor)));
   }
 }
 
@@ -416,6 +582,12 @@ void conservation_pass(const OpGraph& graph, DiagnosticReport& report) {
       case OpKind::kSoftmax: got_softmax_rows += node.rows; break;
       case OpKind::kGelu: got_gelu += node.elements; break;
       case OpKind::kLayerNormScale: got_layernorm += node.rows; break;
+      // Fused nodes carry their constituent vector op's volume, so the
+      // per-kind totals survive fusion rewrites unchanged (MACs are
+      // covered via macs_per_layer in total_macs below).
+      case OpKind::kFusedAttention: got_softmax_rows += node.rows; break;
+      case OpKind::kFusedGemmGelu: got_gelu += node.elements; break;
+      case OpKind::kFusedGemmLayerNorm: got_layernorm += node.rows; break;
     }
   }
   got_softmax_rows *= graph.layer_repeat;
@@ -448,14 +620,16 @@ const std::vector<PassInfo>& pass_catalog() {
       {"structure",
        "DAG/topology: dep range + topological order (cycles), duplicate "
        "edges, unreachable nodes, resource-class field hygiene, positive "
-       "per-kind volumes"},
+       "per-kind volumes, fused-node internal coherence "
+       "(structure.fused-shape)"},
       {"phase",
        "prefill/decode coherence: kv_len legality per phase tag, no "
        "cross-phase edges"},
       {"shape",
        "shape dataflow: re-derive every node of a config expansion from "
        "(BertConfig, phase, kv_len) and cross-check declared GEMM dims, "
-       "softmax rows, GELU/layernorm volumes"},
+       "softmax rows, GELU/layernorm volumes; fused nodes consume their "
+       "constituents' canonical-chain entries (shape.fused)"},
       {"conservation",
        "closed-form volume lints: per-kind totals (MACs, approx ops, "
        "softmax rows, GELU elements, layernorm rows) reconcile against "
@@ -520,7 +694,25 @@ DiagnosticReport reconcile_cycles(const pipeline::OpGraph& graph,
   };
   check("fabric cycles", timeline.fabric_cycles, closed.compute_cycles);
   check("vector cycles", timeline.vector_cycles, closed.approx_cycles);
-  check("span cycles", timeline.span_cycles, closed.total());
+  if (graph.has_fused_nodes()) {
+    // Fusion conserves the per-resource busy totals (checked exactly
+    // above) but shrinks the span: a fused node runs its fabric and
+    // vector shares concurrently, so the serial span lands between the
+    // busier resource alone and the full serial sum.
+    const std::uint64_t lo =
+        std::max(closed.compute_cycles, closed.approx_cycles);
+    const std::uint64_t hi = closed.total();
+    if (timeline.span_cycles < lo || timeline.span_cycles > hi) {
+      report.add(Severity::kError, CheckId::kConserveCycles,
+                 std::string("span cycles on ") + accel.name +
+                     ": fused serial timeline says " +
+                     std::to_string(timeline.span_cycles) +
+                     ", outside the closed-form bound [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+  } else {
+    check("span cycles", timeline.span_cycles, closed.total());
+  }
   return report;
 }
 

@@ -15,6 +15,7 @@
 #include "core/overlay.hpp"
 #include "core/vector_unit.hpp"
 #include "pipeline/executor.hpp"
+#include "pipeline/fusion.hpp"
 #include "pipeline/op_graph.hpp"
 #include "serve/request.hpp"
 #include "serve/scheduler.hpp"
@@ -265,6 +266,45 @@ void report_workloads(const Options& options,
   return reconciled;
 }
 
+/// --pipeline with --fusion on|auto: the tuner's per-mask table for one
+/// workload. All 8 rewrite masks are priced under the default overlap
+/// executor (the same one report_pipeline's timeline uses), so the table
+/// shows exactly the search the serve-side auto mode runs per shape. The
+/// chosen row is the tuner's argmin under auto, or the unconditional
+/// full mask under on.
+void report_fusion(const Options& options, pipeline::FusionMode mode,
+                   const workload::BertConfig& config,
+                   const accel::AcceleratorModel& accel) {
+  pipeline::ExecutorConfig exec_config;
+  exec_config.choice = accel::ApproximatorChoice{hw::UnitKind::kNovaNoc,
+                                                 options.breakpoints};
+  exec_config.overlap = true;
+  const pipeline::PipelineExecutor executor(accel, exec_config);
+  const auto graph = pipeline::build_graph(config);
+  const auto tuning = pipeline::tune_fusion(executor, graph);
+  const pipeline::FusionSet chosen =
+      mode == pipeline::FusionMode::kOn ? pipeline::kFuseAll : tuning.best;
+
+  Table table("Fusion tuner: " + config.name + " on " + accel.name +
+              " (mode " + pipeline::to_string(mode) + ", winner " +
+              pipeline::to_string_fusion_set(chosen) + ", speedup " +
+              Table::num(tuning.speedup(), 4) + ")");
+  table.set_header({"mask", "rewrites", "overlapped span", "speedup",
+                    "chosen"});
+  for (const auto& candidate : tuning.candidates) {
+    table.add_row(
+        {pipeline::to_string_fusion_set(candidate.set),
+         std::to_string(candidate.rewrites),
+         std::to_string(candidate.span_cycles),
+         Table::num(static_cast<double>(tuning.baseline_span) /
+                        static_cast<double>(
+                            std::max<sim::Cycle>(1, candidate.span_cycles)),
+                    4),
+         candidate.set == chosen ? "<--" : ""});
+  }
+  emit(table, options.csv);
+}
+
 /// --decode: prefill-vs-decode attribution for one workload -- one full
 /// seq_len prefill against one autoregressive step at --kv-len, with both
 /// phases' graph timelines side by side and each serial timeline
@@ -421,7 +461,8 @@ void report_surrogate(const Options& options,
 }
 
 int run_serve(const Options& options, hw::AcceleratorKind host,
-              approx::NonLinearFn fn, const core::NovaConfig& cfg) {
+              approx::NonLinearFn fn, const core::NovaConfig& cfg,
+              pipeline::FusionMode fusion) {
   const auto pricing = serve::pricing_mode_from_string(options.pricing);
   if (!pricing) {
     std::fprintf(stderr,
@@ -476,6 +517,7 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
   serve_cfg.max_batch = options.max_batch;
   serve_cfg.seed = options.seed;
   serve_cfg.pricing = *pricing;
+  serve_cfg.fusion = fusion;
   serve_cfg.surrogate_anchors = options.surrogate_anchors;
   serve_cfg.surrogate_tol = options.surrogate_tol;
   serve_cfg.policy.max_retries = options.max_retries;
@@ -531,6 +573,19 @@ int run_serve(const Options& options, hw::AcceleratorKind host,
                        ? "poisson @ " + Table::num(options.rate_rps, 1) +
                              " req/s"
                        : "trace " + options.trace_path});
+  // Fusion rows appear only when fusion is enabled, so --fusion off stays
+  // byte-identical to the pre-fusion report.
+  if (fusion != pipeline::FusionMode::kOff) {
+    summary.add_row({"fusion", pipeline::to_string(fusion)});
+    summary.add_row(
+        {"fused shapes",
+         std::to_string(report.surrogate.fused_shapes) + " / " +
+             std::to_string(report.surrogate.distinct_shapes) + " distinct"});
+    if (fusion == pipeline::FusionMode::kAuto) {
+      summary.add_row({"best tuner speedup",
+                       Table::num(report.surrogate.max_fusion_speedup, 4)});
+    }
+  }
   // Continuous-only rows come first and whole mode adds none, keeping the
   // classic report byte-identical to the pre-session scheduler's output.
   if (options.continuous) {
@@ -672,12 +727,21 @@ int run(const Options& options) {
     return 2;
   }
 
+  const auto fusion = pipeline::fusion_mode_from_string(options.fusion);
+  if (!fusion) {
+    std::fprintf(stderr,
+                 "nova_sim: unknown fusion mode '%s' (expected off, on, or "
+                 "auto)\n",
+                 options.fusion.c_str());
+    return 2;
+  }
+
   auto overlay = core::make_overlay(*host);
   core::NovaConfig cfg = overlay.nova;
   cfg.pairs_per_flit = options.pairs_per_flit;
   if (options.routers > 0) cfg.routers = options.routers;
 
-  if (options.serve) return run_serve(options, *host, *fn, cfg);
+  if (options.serve) return run_serve(options, *host, *fn, cfg, *fusion);
 
   if (!options.csv) {
     std::printf("nova_sim: %s on %s, seq_len %d\n\n", options.workload.c_str(),
@@ -702,6 +766,9 @@ int run(const Options& options) {
     bool all_reconciled = true;
     for (const auto& config : *workloads) {
       all_reconciled &= report_pipeline(options, config, accel_model);
+      if (*fusion != pipeline::FusionMode::kOff) {
+        report_fusion(options, *fusion, config, accel_model);
+      }
     }
     if (!all_reconciled) {
       std::fprintf(stderr,

@@ -10,6 +10,10 @@
 //   nova_lint             lint the full catalog sweep
 //   nova_lint --list      print the registered passes and exit
 //   nova_lint --report F  additionally write the per-graph report to F
+//   nova_lint --json F    additionally write the sweep as machine-readable
+//                         JSON (stable severity/check/node/kind/label/
+//                         message fields per diagnostic, plus a summary
+//                         object) -- what CI archives and tooling parses
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -28,12 +32,46 @@ struct LintTotals {
   int warnings = 0;
 };
 
+/// JSON string escaping for the --json emission: labels and messages carry
+/// arbitrary builder text (quotes in benchmark names would otherwise break
+/// the document). Control characters degrade to \u00XX.
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// One sweep unit: verify `graph` on `accel` and append the outcome to the
-/// console and the optional report body.
+/// console, the optional report body, and the optional JSON rows.
 void lint_graph(const nova::pipeline::OpGraph& graph,
                 const nova::accel::AcceleratorModel& accel,
                 const std::string& what, LintTotals& totals,
-                std::string& report_body) {
+                std::string& report_body, std::string& json_rows) {
   const nova::accel::ApproximatorChoice choice{nova::hw::UnitKind::kNovaNoc,
                                                16};
   const auto report = nova::analysis::reconcile_cycles(graph, accel, choice);
@@ -49,12 +87,35 @@ void lint_graph(const nova::pipeline::OpGraph& graph,
   if (!report.ok()) {
     std::printf("%s\n%s", line.c_str(), report.to_string().c_str());
   }
+
+  // Every sweep unit gets a JSON row -- clean graphs included, so tooling
+  // can tell "not linted" from "linted clean". Field names are part of the
+  // CLI contract; keep them in lockstep with the README.
+  if (!json_rows.empty()) json_rows += ",\n";
+  json_rows += "    {\"graph\": \"" + json_escape(what) + "\", \"ok\": " +
+               (report.ok() ? "true" : "false") + ", \"diagnostics\": [";
+  bool first = true;
+  for (const auto& diag : report.diagnostics) {
+    if (!first) json_rows += ", ";
+    first = false;
+    json_rows += std::string("{\"severity\": \"") +
+                 nova::analysis::to_string(diag.severity) +
+                 "\", \"check\": \"" + nova::analysis::to_string(diag.check) +
+                 "\", \"node\": " + std::to_string(diag.node) +
+                 ", \"kind\": \"" +
+                 (diag.node >= 0 ? nova::pipeline::to_string(diag.node_kind)
+                                 : "") +
+                 "\", \"label\": \"" + json_escape(diag.node_label) +
+                 "\", \"message\": \"" + json_escape(diag.message) + "\"}";
+  }
+  json_rows += "]}";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string report_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--list") {
@@ -72,13 +133,23 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
       continue;
     }
+    if (flag == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nova_lint: --json expects a path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
     if (flag == "--help" || flag == "-h") {
       std::puts(
           "nova_lint -- static verifier sweep over every catalog OpGraph\n"
           "\n"
-          "Usage: nova_lint [--list] [--report FILE]\n"
+          "Usage: nova_lint [--list] [--report FILE] [--json FILE]\n"
           "  --list         print the registered verifier passes and exit\n"
           "  --report FILE  write the per-graph sweep report to FILE\n"
+          "  --json FILE    write the sweep as machine-readable JSON\n"
+          "                 (per-graph diagnostics + summary object)\n"
           "\n"
           "Lints host x benchmark x {prefill seq 1/128/1024, decode kv\n"
           "1/128/1024}; exits 1 if any graph has error diagnostics.");
@@ -92,6 +163,7 @@ int main(int argc, char** argv) {
   const std::vector<std::int64_t> lengths = {1, 128, 1024};
   LintTotals totals;
   std::string body;
+  std::string json_rows;
   for (const auto& host : nova::accel::host_catalog()) {
     const auto accel = nova::accel::make_accelerator(host.kind);
     for (const std::int64_t len : lengths) {
@@ -100,7 +172,7 @@ int main(int argc, char** argv) {
         lint_graph(nova::pipeline::build_graph(config), accel,
                    config.name + " prefill seq " + std::to_string(len) +
                        " on " + accel.name,
-                   totals, body);
+                   totals, body, json_rows);
       }
       // Decode volumes are seq_len-independent; expand at the default
       // sequence length and sweep the KV-cache length instead.
@@ -108,7 +180,7 @@ int main(int argc, char** argv) {
         lint_graph(nova::pipeline::build_decode_graph(config, len), accel,
                    config.name + " decode kv " + std::to_string(len) +
                        " on " + accel.name,
-                   totals, body);
+                   totals, body, json_rows);
       }
     }
   }
@@ -130,6 +202,22 @@ int main(int argc, char** argv) {
     std::fputs(body.c_str(), out);
     std::fputs(summary.c_str(), out);
     std::fputs("\n", out);
+    std::fclose(out);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "nova_lint: cannot write JSON to '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out,
+                 "{\n  \"tool\": \"nova_lint\",\n  \"graphs\": [\n%s\n  ],\n"
+                 "  \"summary\": {\"graphs\": %d, \"clean\": %d, "
+                 "\"errors\": %d, \"warnings\": %d}\n}\n",
+                 json_rows.c_str(), totals.graphs, totals.clean, totals.errors,
+                 totals.warnings);
     std::fclose(out);
   }
   return totals.errors == 0 ? 0 : 1;

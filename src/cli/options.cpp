@@ -140,6 +140,13 @@ std::string usage() {
       "                     error diagnostics (full sweep: nova_lint)\n"
       "  --kv-len N         KV-cache length for --decode and the decode\n"
       "                     side of serve traffic    (default: 512)\n"
+      "  --fusion MODE      operator-graph fusion: off (builder graphs,\n"
+      "                     byte-identical to pre-fusion output), on (fuse\n"
+      "                     attention + GEMM epilogues unconditionally), or\n"
+      "                     auto (price all 8 rewrite masks per shape and\n"
+      "                     take the fastest). Applies to --pipeline (adds\n"
+      "                     the tuner table) and to --serve admission\n"
+      "                     pricing                  (default: off)\n"
       "  --waves N          PE waves in the cycle sim  (default: 4)\n"
       "  --seed N           RNG seed for synthetic inputs and serve traffic\n"
       "                     (default: 42)\n"
@@ -213,7 +220,8 @@ std::string usage() {
       "  nova_sim --serve --requests 1000 --instances 4 --threads 4 --seed 7\n"
       "  nova_sim --serve --faults --mtbf 5000 --mttr 1000 --deadline 2000\n"
       "  nova_sim --continuous --max-steps 16 --chunk-tokens 64 "
-      "--pricing hybrid\n";
+      "--pricing hybrid\n"
+      "  nova_sim --serve --fusion auto --pricing hybrid --requests 500\n";
   return text;
 }
 
@@ -314,6 +322,9 @@ bool parse_options(int argc, const char* const* argv, Options& options,
     } else if (flag == "--pricing") {
       if (!next(value)) return false;
       options.pricing = value;
+    } else if (flag == "--fusion") {
+      if (!next(value)) return false;
+      options.fusion = value;
     } else if (flag == "--surrogate-anchors") {
       if (!next(value) ||
           !parse_int(flag, value, 2, 256, options.surrogate_anchors, error))

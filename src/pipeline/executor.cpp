@@ -13,6 +13,7 @@ const char* to_string(Resource resource) {
   switch (resource) {
     case Resource::kFabric: return "fabric";
     case Resource::kVector: return "vector";
+    case Resource::kFused: return "fused";
   }
   return "?";
 }
@@ -69,11 +70,32 @@ PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
   const std::int64_t layers = graph.layer_repeat;
   const std::int64_t units = accel_.matrix_units;
 
+  // One GEMM shape's whole-inference fabric cycles (the fold arithmetic of
+  // accel::inference_cycles): folds ceil-balanced across matrix units.
+  const auto gemm_cycles = [this, units](std::int64_t m, std::int64_t k,
+                                         std::int64_t n,
+                                         std::int64_t count) -> sim::Cycle {
+    const std::int64_t folds =
+        accel::gemm_folds(accel_.systolic, m, k, n) * count;
+    const std::int64_t per_unit = (folds + units - 1) / units;
+    return static_cast<sim::Cycle>(
+        per_unit * accel::fold_cycles(accel_.systolic, m, k, n));
+  };
+  const auto fabric_energy_mj = [this](sim::Cycle cycles) {
+    const double seconds =
+        static_cast<double>(cycles) / (accel_.freq_mhz * 1.0e6);
+    return accel_.base_power_w * seconds * 1.0e3;
+  };
+
   // --- Durations. GEMM nodes use the whole-inference fold arithmetic of
   // accel::inference_cycles (1:1 with the flat shapes). Vector nodes share
   // the approximator pipeline, so their durations telescope over the
   // cumulative element count: partial waves at node boundaries are not
-  // double-charged, and the sum equals the closed-form total.
+  // double-charged, and the sum equals the closed-form total. Fused nodes
+  // price BOTH sides -- their constituent GEMM shapes' folds plus their
+  // vector op's slice of the same telescoped account -- so the fabric and
+  // vector busy totals are conserved exactly under any fusion rewrite; the
+  // node's duration is max(shares), which is where fusion wins span.
   std::int64_t vector_cum = 0;
   sim::Cycle vector_prev_cycles = 0;
   bool fill_charged = false;
@@ -92,10 +114,38 @@ PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
                                         node.n));
       entry.tiles = std::max<std::int64_t>(1, per_unit);
       entry.macs = node.macs_per_layer() * layers;
+      entry.fabric_share = entry.cycles;
       timeline.fabric_cycles += entry.cycles;
-      const double seconds =
-          static_cast<double>(entry.cycles) / (accel_.freq_mhz * 1.0e6);
-      entry.energy_mj = accel_.base_power_w * seconds * 1.0e3;
+      entry.energy_mj = fabric_energy_mj(entry.cycles);
+    } else if (node.is_fused()) {
+      entry.resource = Resource::kFused;
+      sim::Cycle fabric = gemm_cycles(node.m, node.k, node.n,
+                                      node.repeat * layers);
+      if (node.kind == OpKind::kFusedAttention) {
+        // The context (AV) GEMM is the score GEMM's (m, n, k) permutation.
+        fabric += gemm_cycles(node.m, node.n, node.k, node.repeat * layers);
+      }
+      const std::int64_t ops = node.approx_ops_per_layer() * layers;
+      vector_cum += ops;
+      const sim::Cycle boundary = cycles_to_stream(vector_cum, vector_rate_);
+      sim::Cycle vector = boundary - vector_prev_cycles;
+      vector_prev_cycles = boundary;
+      if (!fill_charged && ops > 0) {
+        vector += config_.vector_fill_cycles;
+        fill_charged = true;
+      }
+      entry.fabric_share = fabric;
+      entry.vector_share = vector;
+      entry.cycles = std::max(fabric, vector);
+      entry.tiles = 1;
+      entry.macs = node.macs_per_layer() * layers;
+      entry.approx_ops = ops;
+      timeline.fabric_cycles += fabric;
+      timeline.vector_cycles += vector;
+      timeline.approx_ops += static_cast<std::uint64_t>(ops);
+      entry.energy_mj = fabric_energy_mj(fabric) +
+                        static_cast<double>(ops) *
+                            cost.energy_per_approx_pj * 1.0e-9;
     } else {
       entry.resource = Resource::kVector;
       const std::int64_t ops = node.approx_ops_per_layer() * layers;
@@ -109,6 +159,7 @@ PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
         fill_charged = true;
       }
       entry.tiles = std::max<sim::Cycle>(1, entry.cycles);
+      entry.vector_share = entry.cycles;
       timeline.vector_cycles += entry.cycles;
       timeline.approx_ops += static_cast<std::uint64_t>(ops);
       entry.energy_mj = static_cast<double>(ops) *
@@ -120,16 +171,20 @@ PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
   // --- ASAP schedule with per-resource serialization. Overlap makes
   // cross-resource edges streaming: the consumer starts after the
   // producer's first tile and finishes no earlier than one consumer-chunk
-  // after the producer's last.
+  // after the producer's last. Fused nodes hold BOTH resources: they wait
+  // for both to drain, advance both when done, and none of their edges
+  // stream (the fused kernel's internal overlap is already priced into its
+  // max(shares) duration).
   sim::Cycle free_at[2] = {0, 0};
   for (auto& entry : timeline.entries) {
     const auto& node = graph.nodes[static_cast<std::size_t>(entry.node)];
-    const auto res = static_cast<std::size_t>(entry.resource);
+    const bool fused_node = entry.resource == Resource::kFused;
     sim::Cycle ready = 0;
     for (const int dep : node.deps) {
       const auto& producer = timeline.entries[static_cast<std::size_t>(dep)];
-      if (config_.overlap && producer.resource != entry.resource &&
-          producer.cycles > 0) {
+      if (config_.overlap && !fused_node &&
+          producer.resource != Resource::kFused &&
+          producer.resource != entry.resource && producer.cycles > 0) {
         const sim::Cycle first_tile =
             (producer.cycles + static_cast<sim::Cycle>(producer.tiles) - 1) /
             static_cast<sim::Cycle>(producer.tiles);
@@ -138,13 +193,19 @@ PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
         ready = std::max(ready, producer.finish);
       }
     }
-    entry.start = std::max(free_at[res], ready);
+    if (fused_node) {
+      entry.start = std::max({free_at[0], free_at[1], ready});
+    } else {
+      entry.start =
+          std::max(free_at[static_cast<std::size_t>(entry.resource)], ready);
+    }
     entry.finish = entry.start + entry.cycles;
-    if (config_.overlap && entry.cycles > 0) {
+    if (config_.overlap && !fused_node && entry.cycles > 0) {
       for (const int dep : node.deps) {
         const auto& producer =
             timeline.entries[static_cast<std::size_t>(dep)];
-        if (producer.resource == entry.resource || producer.cycles == 0) {
+        if (producer.resource == entry.resource ||
+            producer.resource == Resource::kFused || producer.cycles == 0) {
           continue;
         }
         const sim::Cycle chunk =
@@ -153,7 +214,12 @@ PipelineTimeline PipelineExecutor::execute(const OpGraph& graph) const {
         entry.finish = std::max(entry.finish, producer.finish + chunk);
       }
     }
-    free_at[res] = entry.finish;
+    if (fused_node) {
+      free_at[0] = entry.finish;
+      free_at[1] = entry.finish;
+    } else {
+      free_at[static_cast<std::size_t>(entry.resource)] = entry.finish;
+    }
     timeline.span_cycles = std::max(timeline.span_cycles, entry.finish);
   }
   return timeline;

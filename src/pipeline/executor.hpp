@@ -34,8 +34,14 @@
 
 namespace nova::pipeline {
 
-/// Which execution resource a timeline entry occupied.
-enum class Resource { kFabric, kVector };
+/// Which execution resource a timeline entry occupied. Fused nodes
+/// (pipeline/fusion.hpp rewrites) hold BOTH resources for their duration:
+/// their busy cycles still split into fabric/vector shares for the
+/// conservation totals, but the node runs as one block whose duration is
+/// max(fabric share, vector share) -- the fused kernel streams its vector
+/// epilogue against its own GEMM tiles instead of round-tripping through
+/// the cross-resource seam.
+enum class Resource { kFabric, kVector, kFused };
 
 [[nodiscard]] const char* to_string(Resource resource);
 
@@ -49,10 +55,18 @@ struct TimelineEntry {
   sim::Cycle finish = 0;  ///< may exceed start + cycles when drain-bound
   sim::Cycle cycles = 0;  ///< busy duration attributed to the node
   /// Sequential tiles the node streams in (GEMM: fold batches per matrix
-  /// unit; vector ops: element waves). Granularity of overlap.
+  /// unit; vector ops: element waves). Granularity of overlap. Fused nodes
+  /// are monolithic (tiles == 1): their internal streaming is already
+  /// priced into the max(shares) duration, so their edges never stream.
   std::int64_t tiles = 1;
   std::int64_t macs = 0;
   std::int64_t approx_ops = 0;
+  /// Busy-cycle attribution for fused nodes: how much of the node's work
+  /// belongs to each resource (fabric_share + vector_share >= cycles, with
+  /// equality only when one share is zero). Pure nodes leave the foreign
+  /// share at 0 and their own share == cycles.
+  sim::Cycle fabric_share = 0;
+  sim::Cycle vector_share = 0;
   /// Active energy attribution: fabric share for GEMMs, marginal
   /// approximator energy for vector nodes (leakage is runtime-dependent and
   /// reported at the timeline level by evaluate_pipeline).
@@ -63,13 +77,18 @@ struct TimelineEntry {
 struct PipelineTimeline {
   std::vector<TimelineEntry> entries;  ///< parallel to graph.nodes
   int layers = 1;
-  /// Sum of GEMM-node cycles; equals accel::inference_cycles by
-  /// construction (same per-shape fold arithmetic, node <-> shape 1:1).
+  /// Sum of GEMM-node cycles (plus fused nodes' fabric shares); equals
+  /// accel::inference_cycles by construction (same per-shape fold
+  /// arithmetic, node <-> shape 1:1 -- a fused node contributes its
+  /// constituent GEMM shapes' folds). Fusion rewrites conserve this total.
   sim::Cycle fabric_cycles = 0;
-  /// Sum of vector-node cycles including the one-time pipeline fill;
-  /// equals the legacy closed-form approximator cycle total.
+  /// Sum of vector-node cycles (plus fused nodes' vector shares) including
+  /// the one-time pipeline fill; equals the legacy closed-form approximator
+  /// cycle total. Fusion rewrites conserve this total too.
   sim::Cycle vector_cycles = 0;
-  /// No-overlap span: fabric_cycles + vector_cycles.
+  /// Busy total: fabric_cycles + vector_cycles. Equals the no-overlap span
+  /// for unfused graphs; a fused node's duration is max(shares) < sum, so
+  /// fused serial spans drop below this (that gap IS the fusion win).
   sim::Cycle serial_cycles = 0;
   /// Scheduled makespan (== serial_cycles when overlap is disabled).
   sim::Cycle span_cycles = 0;

@@ -11,6 +11,9 @@ const char* to_string(OpKind kind) {
     case OpKind::kSoftmax: return "softmax";
     case OpKind::kGelu: return "gelu";
     case OpKind::kLayerNormScale: return "layernorm";
+    case OpKind::kFusedAttention: return "fused-attention";
+    case OpKind::kFusedGemmGelu: return "fused-gemm-gelu";
+    case OpKind::kFusedGemmLayerNorm: return "fused-gemm-layernorm";
   }
   return "?";
 }
@@ -224,6 +227,29 @@ workload::ModelWorkload flatten(const OpGraph& graph) {
         wl.nonlinear.gelu_elements += node.elements * layers;
         break;
       case OpKind::kLayerNormScale:
+        wl.nonlinear.layernorm_rsqrt_ops += node.rows * layers;
+        break;
+      // Fused blocks decompose back into their constituent flat shapes, so
+      // flatten(fused(g)) carries the same volumes as flatten(g) and the
+      // closed-form cycle model stays blind to how the graph was rewritten.
+      case OpKind::kFusedAttention:
+        wl.gemms.push_back({node.label + " (scores)", node.m, node.k, node.n,
+                            node.repeat * layers});
+        wl.gemms.push_back({node.label + " (context)", node.m, node.n, node.k,
+                            node.repeat * layers});
+        NOVA_EXPECTS(wl.nonlinear.softmax_rows == 0 ||
+                     wl.nonlinear.softmax_row_len == node.row_len);
+        wl.nonlinear.softmax_rows += node.rows * layers;
+        wl.nonlinear.softmax_row_len = node.row_len;
+        break;
+      case OpKind::kFusedGemmGelu:
+        wl.gemms.push_back(
+            {node.label, node.m, node.k, node.n, node.repeat * layers});
+        wl.nonlinear.gelu_elements += node.elements * layers;
+        break;
+      case OpKind::kFusedGemmLayerNorm:
+        wl.gemms.push_back(
+            {node.label, node.m, node.k, node.n, node.repeat * layers});
         wl.nonlinear.layernorm_rsqrt_ops += node.rows * layers;
         break;
     }

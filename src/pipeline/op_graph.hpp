@@ -36,11 +36,33 @@ enum class Phase { kPrefill, kDecode };
 [[nodiscard]] std::optional<Phase> phase_from_string(const std::string& name);
 
 /// Operator kinds an encoder layer is built from. kGemm executes on the
-/// host compute fabric; the other three stream through the NOVA vector
-/// unit (softmax decomposes into exp + reciprocal + scale element ops,
-/// layernorm contributes one rsqrt lookup per row -- the same accounting as
-/// workload::NonLinearProfile).
-enum class OpKind { kGemm, kSoftmax, kGelu, kLayerNormScale };
+/// host compute fabric; kSoftmax / kGelu / kLayerNormScale stream through
+/// the NOVA vector unit (softmax decomposes into exp + reciprocal + scale
+/// element ops, layernorm contributes one rsqrt lookup per row -- the same
+/// accounting as workload::NonLinearProfile).
+///
+/// The three kFused* kinds are produced only by the rewrite passes in
+/// pipeline/fusion.hpp, never by the builders. A fused node occupies BOTH
+/// resources and carries the union of its constituents' volume fields:
+///   * kFusedAttention -- flash-attention-style QK^T + softmax + AV block.
+///     (m, k, n, repeat) is the SCORE GEMM shape (q, head_dim, attend_len)
+///     x heads; the context (AV) GEMM is its permutation (m, n, k), so one
+///     triple determines both and MACs double. rows/row_len carry the
+///     softmax volume (rows == repeat * m, row_len == n -- machine-checked
+///     by structure.fused-shape).
+///   * kFusedGemmGelu -- GEMM with its GELU epilogue folded in
+///     (elements == m * n * repeat).
+///   * kFusedGemmLayerNorm -- GEMM with the residual layernorm folded in
+///     (rows == m).
+enum class OpKind {
+  kGemm,
+  kSoftmax,
+  kGelu,
+  kLayerNormScale,
+  kFusedAttention,
+  kFusedGemmGelu,
+  kFusedGemmLayerNorm,
+};
 
 [[nodiscard]] const char* to_string(OpKind kind);
 
@@ -81,23 +103,50 @@ struct OpNode {
 
   [[nodiscard]] bool is_gemm() const { return kind == OpKind::kGemm; }
 
-  /// MACs this node executes on the fabric, per encoder layer.
+  /// Fused nodes carry both fabric and vector volume and occupy both
+  /// executor resources for their duration.
+  [[nodiscard]] bool is_fused() const {
+    return kind == OpKind::kFusedAttention ||
+           kind == OpKind::kFusedGemmGelu ||
+           kind == OpKind::kFusedGemmLayerNorm;
+  }
+
+  /// MACs this node executes on the fabric, per encoder layer. A fused
+  /// attention block runs both the score GEMM (m x k x n) and the context
+  /// GEMM (m x n x k) -- same MAC count each -- so its total doubles.
   [[nodiscard]] std::int64_t macs_per_layer() const {
-    return is_gemm() ? m * k * n * repeat : 0;
+    switch (kind) {
+      case OpKind::kGemm: return m * k * n * repeat;
+      case OpKind::kSoftmax:
+      case OpKind::kGelu:
+      case OpKind::kLayerNormScale: return 0;
+      case OpKind::kFusedAttention: return 2 * m * k * n * repeat;
+      case OpKind::kFusedGemmGelu:
+      case OpKind::kFusedGemmLayerNorm: return m * k * n * repeat;
+    }
+    return 0;
   }
 
   /// Vector-unit element operations (one lookup + one MAC each) per layer:
   /// a softmax over n elements costs 2n+1 (n exp, 1 reciprocal, n scale) --
-  /// identical to workload::NonLinearProfile::total_approx_ops.
+  /// identical to workload::NonLinearProfile::total_approx_ops. Fused nodes
+  /// contribute exactly their constituent vector op's volume.
   [[nodiscard]] std::int64_t approx_ops_per_layer() const {
     switch (kind) {
       case OpKind::kGemm: return 0;
       case OpKind::kSoftmax: return rows * (2 * row_len + 1);
       case OpKind::kGelu: return elements;
       case OpKind::kLayerNormScale: return rows;
+      case OpKind::kFusedAttention: return rows * (2 * row_len + 1);
+      case OpKind::kFusedGemmGelu: return elements;
+      case OpKind::kFusedGemmLayerNorm: return rows;
     }
     return 0;
   }
+
+  /// Memberwise equality: rewrite tests compare whole graphs (deep copy is
+  /// plain value semantics) and pass idempotence is "fused once == twice".
+  [[nodiscard]] bool operator==(const OpNode&) const = default;
 };
 
 /// The operator graph of one encoder layer, plus the config it was expanded
@@ -123,6 +172,18 @@ struct OpGraph {
     for (const auto& node : nodes) total += node.approx_ops_per_layer();
     return total * layer_repeat;
   }
+
+  /// True when any node is a fused block (i.e. a fusion rewrite ran).
+  [[nodiscard]] bool has_fused_nodes() const {
+    for (const auto& node : nodes) {
+      if (node.is_fused()) return true;
+    }
+    return false;
+  }
+
+  /// Memberwise equality (config, nodes, tags). Copying an OpGraph is a
+  /// deep copy by construction -- all members are value types.
+  [[nodiscard]] bool operator==(const OpGraph&) const = default;
 };
 
 /// Expands a BERT-family config into its encoder-layer operator graph: the

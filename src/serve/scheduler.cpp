@@ -15,6 +15,7 @@
 #include "accel/accelerator.hpp"
 #include "approx/mlp_fitter.hpp"
 #include "common/assert.hpp"
+#include "serve/availability.hpp"
 
 namespace nova::serve {
 
@@ -83,75 +84,6 @@ struct Pending {
   }
 };
 
-/// The (next_free_us, instance) min-heap replacing the old linear argmin
-/// scan over instances -- per-step dispatch makes instance selection hot.
-///
-/// Protocol: refresh(j) after every free_at[j] change pushes j's current
-/// availability; the entry it supersedes stays behind with a stale (and,
-/// since availability only ever grows, strictly smaller-or-equal) key and
-/// is discarded when it surfaces. The first fresh top is therefore the
-/// true argmin over next_up_us(j, free_at[j]), and the pair ordering
-/// breaks ties on the lowest instance index -- byte-identical decisions to
-/// the scan it replaces.
-class AvailabilityHeap {
- public:
-  AvailabilityHeap(const FaultPlan& faults, const std::vector<double>& free_at)
-      : faults_(&faults), free_at_(&free_at) {
-    for (std::size_t j = 0; j < free_at.size(); ++j) {
-      refresh(static_cast<int>(j));
-    }
-  }
-
-  void refresh(int instance) {
-    heap_.emplace(
-        faults_->next_up_us(instance,
-                            (*free_at_)[static_cast<std::size_t>(instance)]),
-        instance);
-  }
-
-  /// Earliest-available instance among those `ok` accepts, as
-  /// (availability, instance); nullopt when every instance is rejected.
-  /// Valid-but-rejected entries are parked and restored, so the heap is
-  /// unchanged apart from discarded stale entries.
-  std::optional<std::pair<double, int>> peek_min_where(
-      const std::function<bool(int)>& ok) {
-    parked_.clear();
-    std::optional<std::pair<double, int>> found;
-    while (!heap_.empty()) {
-      const auto top = heap_.top();
-      const double fresh = faults_->next_up_us(
-          top.second, (*free_at_)[static_cast<std::size_t>(top.second)]);
-      if (top.first != fresh) {  // superseded by a later refresh
-        heap_.pop();
-        continue;
-      }
-      if (!ok(top.second)) {
-        parked_.push_back(top);
-        heap_.pop();
-        continue;
-      }
-      found = top;
-      break;
-    }
-    for (const auto& entry : parked_) heap_.push(entry);
-    return found;
-  }
-
-  /// Unfiltered minimum; always present (one fresh entry per instance).
-  std::pair<double, int> peek_min() {
-    return *peek_min_where([](int) { return true; });
-  }
-
- private:
-  const FaultPlan* faults_;
-  const std::vector<double>* free_at_;
-  std::priority_queue<std::pair<double, int>,
-                      std::vector<std::pair<double, int>>,
-                      std::greater<>>
-      heap_;
-  std::vector<std::pair<double, int>> parked_;
-};
-
 }  // namespace
 
 double ServeReport::latency_percentile_us(double p) const {
@@ -213,12 +145,14 @@ void BatchScheduler::price_requests(
     (void)library.get(shape.function, shape.breakpoints);
   }
 
-  const ExactPricer pricer(PricerConfig{config_.nova, config_.host,
-                                        config_.seed,
-                                        config_.sim_elements_cap});
+  PricerConfig pricer_config{config_.nova, config_.host, config_.seed,
+                             config_.sim_elements_cap};
+  pricer_config.fusion = config_.fusion;
+  const ExactPricer pricer(pricer_config);
   audit.mode = config_.pricing;
   audit.distinct_shapes = distinct.size();
   audit.tolerance = config_.surrogate_tol;
+  audit.fusion = config_.fusion;
 
   std::vector<ShapeCost> costs;
   if (config_.pricing == PricingMode::kExact) {
@@ -265,6 +199,14 @@ void BatchScheduler::price_requests(
       }
       audit.within_tolerance = audit.max_rel_error <= audit.tolerance;
     }
+  }
+
+  // Fusion tallies for the audit: how many distinct shapes actually priced
+  // a rewritten graph, and the best per-shape tuner win.
+  for (const auto& cost : costs) {
+    if (cost.fusion != pipeline::kFuseNone) ++audit.fused_shapes;
+    audit.max_fusion_speedup =
+        std::max(audit.max_fusion_speedup, cost.fusion_speedup);
   }
 
   // Fold the shape costs into per-step dispatch costs and per-request

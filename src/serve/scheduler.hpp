@@ -113,6 +113,15 @@ struct ServeConfig {
   /// cycle-accurate runs per shape, surrogate interpolation anchored by a
   /// few such runs, or hybrid (surrogate + sampled exact reconciliation).
   PricingMode pricing = PricingMode::kExact;
+  /// How pricing rewrites each shape's operator graph before walking it
+  /// (pipeline/fusion.hpp): off = the builder graph untouched (byte
+  /// identical to pre-fusion binaries), on = every fusion pass, auto = the
+  /// per-shape tuner's argmin over all 8 masks. Admission therefore prices
+  /// the TUNED graph: the same speedup the executor would realize is the
+  /// one the scheduler projects. Composes with every pricing mode --
+  /// surrogate/hybrid interpolate the calibration, and the fusion rewrite
+  /// happens inside the shared graph walk.
+  pipeline::FusionMode fusion = pipeline::FusionMode::kOff;
   /// Max cycle-accurate anchor runs per pricing class in surrogate/hybrid
   /// mode; classes with at most this many distinct lengths are anchored
   /// exactly (no interpolation at all).

@@ -154,14 +154,40 @@ ShapeCost ExactPricer::walk_graph(const ShapeKey& shape,
   exec_config.vector_elems_per_cycle = calibration.elems_per_cycle;
   exec_config.vector_fill_cycles = static_cast<sim::Cycle>(
       std::max(1, calibration.wave_latency_cycles - 1));
-  const auto timeline =
-      pipeline::PipelineExecutor(accel::make_accelerator(config_.host),
-                                 exec_config)
-          .execute(graph);
+  const pipeline::PipelineExecutor executor(
+      accel::make_accelerator(config_.host), exec_config);
 
-  return ShapeCost{graph.total_approx_ops(),
-                   static_cast<double>(timeline.span_cycles),
-                   calibration.wave_latency_cycles};
+  ShapeCost cost;
+  cost.approx_ops = graph.total_approx_ops();
+  cost.wave_latency_cycles = calibration.wave_latency_cycles;
+  switch (config_.fusion) {
+    case pipeline::FusionMode::kOff:
+      // The pre-fusion path, bit for bit: the builder graph, untouched.
+      cost.service_cycles =
+          static_cast<double>(executor.execute(graph).span_cycles);
+      break;
+    case pipeline::FusionMode::kOn: {
+      // Every pass, unconditionally. apply_fusion re-verifies after each
+      // rewriting pass, so a non-conservative rewrite aborts here instead
+      // of admitting requests at a wrong price.
+      auto rewritten = graph;
+      const int rewrites = pipeline::apply_fusion(rewritten, pipeline::kFuseAll);
+      cost.fusion = rewrites > 0 ? pipeline::kFuseAll : pipeline::kFuseNone;
+      cost.service_cycles =
+          static_cast<double>(executor.execute(rewritten).span_cycles);
+      break;
+    }
+    case pipeline::FusionMode::kAuto: {
+      // All 8 masks under THIS shape's calibrated executor; the scheduler's
+      // per-ShapeKey memoization means each distinct point is tuned once.
+      const auto tuning = pipeline::tune_fusion(executor, graph);
+      cost.fusion = tuning.best;
+      cost.fusion_speedup = tuning.speedup();
+      cost.service_cycles = static_cast<double>(tuning.best_span);
+      break;
+    }
+  }
+  return cost;
 }
 
 ShapeCost ExactPricer::price(const ShapeKey& shape) const {

@@ -50,6 +50,7 @@
 #include "approx/interp.hpp"
 #include "core/vector_unit.hpp"
 #include "hwmodel/vector_unit_cost.hpp"
+#include "pipeline/fusion.hpp"
 #include "pipeline/op_graph.hpp"
 
 namespace nova::serve {
@@ -90,6 +91,15 @@ struct ShapeCost {
   std::int64_t approx_ops = 0;
   double service_cycles = 0.0;
   int wave_latency_cycles = 0;
+  /// The fusion mask the priced graph was actually rewritten with:
+  /// kFuseNone when pricing walked the builder graph untouched (fusion off,
+  /// no pattern matched, or the tuner kept the baseline), the winning /
+  /// applied mask otherwise.
+  pipeline::FusionSet fusion = pipeline::kFuseNone;
+  /// Unfused-span / priced-span for this shape; 1.0 except in auto mode,
+  /// where the tuner measures the baseline anyway (never < 1.0: the tuner
+  /// cannot pick a slower rewrite).
+  double fusion_speedup = 1.0;
 };
 
 /// The deployment parameters exact pricing depends on (a subset of
@@ -101,6 +111,14 @@ struct PricerConfig {
   std::uint64_t seed = 42;
   /// Elements per router simulated cycle-accurately per pricing run.
   int sim_elements_cap = 8192;
+  /// How the graph walk prices each shape's operator graph (fusion.hpp):
+  /// off walks the builder graph untouched, on applies every rewrite pass,
+  /// auto prices all 8 masks and takes the argmin span. Part of the
+  /// deployment, not the shape: the per-shape memoization in the scheduler
+  /// stays keyed on ShapeKey alone, and doubles as the tuner's winner
+  /// cache -- each distinct (host x shape x phase x kv_len) point is tuned
+  /// at most once per run.
+  pipeline::FusionMode fusion = pipeline::FusionMode::kOff;
 };
 
 /// What the cycle-accurate half of pricing measures for one shape: the
@@ -248,6 +266,14 @@ struct SurrogateAudit {
   std::size_t distinct_shapes = 0;
   std::size_t classes = 0;
   std::size_t anchors_priced = 0;
+  /// Fusion mode the graph walks priced under (ServeConfig::fusion).
+  pipeline::FusionMode fusion = pipeline::FusionMode::kOff;
+  /// Distinct shapes whose priced graph was actually rewritten (a non-empty
+  /// ShapeCost::fusion mask). 0 whenever fusion is off.
+  std::size_t fused_shapes = 0;
+  /// Largest per-shape tuner speedup (unfused span / priced span) across
+  /// the distinct set; 1.0 outside auto mode.
+  double max_fusion_speedup = 1.0;
   /// Relative service-cycle tolerance hybrid reconciles within.
   double tolerance = 0.0;
   /// Hybrid reconciliation samples, in distinct-shape order.

@@ -24,6 +24,10 @@ struct BertConfig {
   int seq_len = 128;
   int bottleneck = 0;    ///< MobileBERT inter-block width (0 = standard)
   int ffn_stacks = 1;    ///< MobileBERT stacked FFNs per layer
+
+  /// Memberwise equality, so pipeline::OpGraph (which embeds its config)
+  /// can compare rewritten graphs against originals.
+  [[nodiscard]] bool operator==(const BertConfig&) const = default;
 };
 
 /// Table II / Section V.F model zoo (shapes follow the cited papers; the

@@ -1,0 +1,231 @@
+// Fusion rewrite passes + auto-tuner: the machine-checked contracts.
+//
+//   * OpGraph value semantics: deep copy and field-wise equality (the
+//     rewrite passes and the tuner both lean on cheap graph copies).
+//   * Pass idempotence: fusing a fused graph is a no-op, byte for byte.
+//   * Verifier teeth: a seeded NON-conservative rewrite is rejected with
+//     the exact conserve.* check id, and a fused node with broken internal
+//     coherence trips structure.fused-shape -- the negative tests that
+//     prove apply_fusion's re-verification would catch a bad pass.
+//   * Tuner soundness: the winner is the argmin over all 8 masks and is
+//     never slower than the unfused baseline.
+//   * Executor conservation: fusion moves work between nodes but never
+//     creates or destroys it -- fabric/vector busy totals and flattened
+//     MAC/approx-op totals are identical across every mask.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/accelerator.hpp"
+#include "analysis/verifier.hpp"
+#include "pipeline/executor.hpp"
+#include "pipeline/fusion.hpp"
+#include "pipeline/op_graph.hpp"
+#include "workload/bert.hpp"
+
+namespace {
+
+using namespace nova;
+using pipeline::OpGraph;
+using pipeline::OpKind;
+
+workload::BertConfig tiny() {
+  const auto config = workload::by_name("bert-tiny", 64);
+  EXPECT_TRUE(config.has_value());
+  return *config;
+}
+
+pipeline::PipelineExecutor overlap_executor(hw::AcceleratorKind host) {
+  pipeline::ExecutorConfig config;
+  config.choice = accel::ApproximatorChoice{hw::UnitKind::kNovaNoc, 16};
+  config.overlap = true;
+  return pipeline::PipelineExecutor(accel::make_accelerator(host), config);
+}
+
+TEST(OpGraphValue, DeepCopyAndEquality) {
+  const auto graph = pipeline::build_graph(tiny());
+  OpGraph copy = graph;
+  EXPECT_TRUE(copy == graph);
+
+  // The copy is deep: mutating it leaves the original untouched and the
+  // two graphs unequal.
+  copy.nodes[2].label += "-mutated";
+  EXPECT_FALSE(copy == graph);
+  EXPECT_NE(graph.nodes[2].label.back(), 'd');
+
+  copy = graph;
+  EXPECT_TRUE(copy == graph);
+  copy.nodes[4].deps.push_back(0);
+  EXPECT_FALSE(copy == graph);
+}
+
+TEST(FusionPass, RewritesEveryPatternOnce) {
+  const auto graph = pipeline::build_graph(tiny());
+  auto rewritten = graph;
+  const int rewrites = pipeline::apply_fusion(rewritten, pipeline::kFuseAll);
+  // One attention triple, one GEMM+GELU, two GEMM+layernorm per layer
+  // pattern set (attn-proj+layernorm-attn, ffn-down+layernorm-ffn).
+  EXPECT_EQ(rewrites, 4);
+  EXPECT_TRUE(rewritten.has_fused_nodes());
+  EXPECT_EQ(rewritten.nodes.size(), graph.nodes.size() - 2 - 1 - 2);
+
+  int fused_attn = 0, fused_gelu = 0, fused_ln = 0;
+  for (const auto& node : rewritten.nodes) {
+    fused_attn += node.kind == OpKind::kFusedAttention;
+    fused_gelu += node.kind == OpKind::kFusedGemmGelu;
+    fused_ln += node.kind == OpKind::kFusedGemmLayerNorm;
+  }
+  EXPECT_EQ(fused_attn, 1);
+  EXPECT_EQ(fused_gelu, 1);
+  EXPECT_EQ(fused_ln, 2);
+}
+
+TEST(FusionPass, IdempotentOnItsOwnOutput) {
+  for (pipeline::FusionSet set = pipeline::kFuseNone;
+       set <= pipeline::kFuseAll; ++set) {
+    const auto once = pipeline::fused(pipeline::build_graph(tiny()), set);
+    auto twice = once;
+    EXPECT_EQ(pipeline::apply_fusion(twice, set), 0)
+        << "mask " << pipeline::to_string_fusion_set(set)
+        << " re-fired on its own output";
+    EXPECT_TRUE(twice == once);
+  }
+}
+
+TEST(FusionPass, DecodeGraphFusesAndVerifies) {
+  const auto graph = pipeline::build_decode_graph(tiny(), 96);
+  const auto rewritten = pipeline::fused(graph, pipeline::kFuseAll);
+  EXPECT_TRUE(rewritten.has_fused_nodes());
+  EXPECT_TRUE(analysis::run_passes(rewritten).ok())
+      << analysis::run_passes(rewritten).to_string();
+  EXPECT_EQ(rewritten.total_macs(), graph.total_macs());
+  EXPECT_EQ(rewritten.total_approx_ops(), graph.total_approx_ops());
+}
+
+TEST(FusionVerifier, EveryMaskPassesTheFullSuite) {
+  for (pipeline::FusionSet set = pipeline::kFuseNone;
+       set <= pipeline::kFuseAll; ++set) {
+    const auto graph = pipeline::fused(pipeline::build_graph(tiny()), set);
+    const auto report = analysis::run_passes(graph);
+    EXPECT_TRUE(report.ok()) << "mask "
+                             << pipeline::to_string_fusion_set(set) << ":\n"
+                             << report.to_string();
+  }
+}
+
+TEST(FusionVerifier, NonConservativeRewriteIsRejected) {
+  // Seed a deliberately volume-losing rewrite: shrink the fused attention
+  // node's repeat (head count) while keeping its internal coherence
+  // (rows == repeat * m) intact, so ONLY the conservation ledger can see
+  // the theft. This is exactly the bug class apply_fusion's re-verify
+  // exists to catch.
+  auto graph = pipeline::fused(pipeline::build_graph(tiny()),
+                               pipeline::kFuseAttention);
+  const auto it = std::find_if(
+      graph.nodes.begin(), graph.nodes.end(), [](const pipeline::OpNode& n) {
+        return n.kind == OpKind::kFusedAttention;
+      });
+  ASSERT_NE(it, graph.nodes.end());
+  ASSERT_GT(it->repeat, 1);
+  it->repeat -= 1;
+  it->rows = it->repeat * it->m;  // keep structure.fused-shape coherent
+
+  const auto report = analysis::run_passes(graph);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(analysis::CheckId::kConserveMacs));
+  EXPECT_TRUE(report.has(analysis::CheckId::kConserveSoftmaxRows));
+  EXPECT_TRUE(report.has(analysis::CheckId::kConserveApproxOps));
+}
+
+TEST(FusionVerifier, BrokenFusedCoherenceTripsStructurePass) {
+  auto graph = pipeline::fused(pipeline::build_graph(tiny()),
+                               pipeline::kFuseAttention);
+  for (auto& node : graph.nodes) {
+    if (node.kind == OpKind::kFusedAttention) node.rows += 1;
+  }
+  const auto report = analysis::run_passes(graph);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(analysis::CheckId::kStructFusedShape));
+}
+
+TEST(FusionFlatten, FusedGraphFlattensToTheSameTotals) {
+  const auto graph = pipeline::build_graph(tiny());
+  const auto flat = pipeline::flatten(graph);
+  for (pipeline::FusionSet set = pipeline::kFuseNone;
+       set <= pipeline::kFuseAll; ++set) {
+    const auto fused_flat =
+        pipeline::flatten(pipeline::fused(graph, set));
+    EXPECT_EQ(fused_flat.total_macs(), flat.total_macs());
+    EXPECT_EQ(fused_flat.nonlinear.total_approx_ops(),
+              flat.nonlinear.total_approx_ops());
+    EXPECT_EQ(fused_flat.nonlinear.softmax_rows, flat.nonlinear.softmax_rows);
+    EXPECT_EQ(fused_flat.nonlinear.gelu_elements,
+              flat.nonlinear.gelu_elements);
+  }
+}
+
+TEST(FusionExecutor, BusyTotalsConservedAcrossEveryMask) {
+  for (const auto host :
+       {hw::AcceleratorKind::kReact, hw::AcceleratorKind::kTpuV4}) {
+    const auto executor = overlap_executor(host);
+    const auto graph = pipeline::build_graph(tiny());
+    const auto baseline = executor.execute(graph);
+    for (pipeline::FusionSet set = pipeline::kFuseNone + 1;
+         set <= pipeline::kFuseAll; ++set) {
+      const auto timeline = executor.execute(pipeline::fused(graph, set));
+      // Fusion repartitions the timeline but never creates or destroys
+      // busy cycles on either resource.
+      EXPECT_EQ(timeline.fabric_cycles, baseline.fabric_cycles)
+          << "mask " << pipeline::to_string_fusion_set(set);
+      EXPECT_EQ(timeline.vector_cycles, baseline.vector_cycles)
+          << "mask " << pipeline::to_string_fusion_set(set);
+    }
+  }
+}
+
+TEST(FusionTuner, WinnerIsArgminAndNeverSlower) {
+  for (const auto host :
+       {hw::AcceleratorKind::kReact, hw::AcceleratorKind::kTpuV3,
+        hw::AcceleratorKind::kTpuV4, hw::AcceleratorKind::kJetsonNvdla}) {
+    const auto executor = overlap_executor(host);
+    for (const auto* phase : {"prefill", "decode"}) {
+      const auto graph = std::string(phase) == "prefill"
+                             ? pipeline::build_graph(tiny())
+                             : pipeline::build_decode_graph(tiny(), 64);
+      const auto tuning = pipeline::tune_fusion(executor, graph);
+      ASSERT_EQ(tuning.candidates.size(), 8u);
+      EXPECT_EQ(tuning.candidates.front().set, pipeline::kFuseNone);
+      EXPECT_EQ(tuning.candidates.front().span_cycles, tuning.baseline_span);
+      for (const auto& candidate : tuning.candidates) {
+        EXPECT_LE(tuning.best_span, candidate.span_cycles)
+            << "tuner missed mask "
+            << pipeline::to_string_fusion_set(candidate.set);
+      }
+      EXPECT_LE(tuning.best_span, tuning.baseline_span);
+      EXPECT_GE(tuning.speedup(), 1.0);
+      // The winner's recorded span is the winner's actual span.
+      for (const auto& candidate : tuning.candidates) {
+        if (candidate.set == tuning.best) {
+          EXPECT_EQ(candidate.span_cycles, tuning.best_span);
+        }
+      }
+    }
+  }
+}
+
+TEST(FusionModes, StringRoundTrips) {
+  using pipeline::FusionMode;
+  for (const auto mode :
+       {FusionMode::kOff, FusionMode::kOn, FusionMode::kAuto}) {
+    const auto parsed =
+        pipeline::fusion_mode_from_string(pipeline::to_string(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(pipeline::fusion_mode_from_string("bogus").has_value());
+  EXPECT_EQ(pipeline::to_string_fusion_set(pipeline::kFuseNone), "none");
+  EXPECT_EQ(pipeline::to_string_fusion_set(pipeline::kFuseAll),
+            "attn+gelu-ep+ln-ep");
+}
+
+}  // namespace

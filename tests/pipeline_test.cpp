@@ -49,6 +49,7 @@ TEST(OpGraph, HasTheFourOperatorKinds) {
       case OpKind::kSoftmax: ++softmax; break;
       case OpKind::kGelu: ++gelu; break;
       case OpKind::kLayerNormScale: ++layernorm; break;
+      default: FAIL() << "builders never emit fused kinds";
     }
   }
   EXPECT_EQ(softmax, 1);
